@@ -1,0 +1,75 @@
+"""Shared fixtures for the table/figure benches.
+
+The expensive artifact — every solver over the whole corpus on the scaled
+RTX 2080 Ti — is computed once per session and shared by the Table 3 /
+Table 4 / Figures 8–10 benches.  The RTX 3090 runs (Table 5) and the
+per-graph sweeps (Figures 4/7/11–15) build their own smaller inputs.
+
+Every bench also writes its printed report to ``benchmarks/reports/`` so
+the regenerated tables/figures survive the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.calibration import sim_cost, sim_gpu
+from repro.graphs import build_suite
+from repro.gpu.specs import RTX_2080TI, RTX_3090
+from repro.harness import run_suite
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Every implementation compared in Table 3.
+ALL_SOLVERS = ("adds", "nf", "gun-nf", "gun-bf", "nv", "cpu-ds", "dijkstra")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The evaluation corpus (the 226-graph collection's scaled stand-in)."""
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def rtx2080():
+    spec = sim_gpu(RTX_2080TI)
+    return spec, sim_cost(spec)
+
+
+@pytest.fixture(scope="session")
+def rtx3090():
+    spec = sim_gpu(RTX_3090)
+    return spec, sim_cost(spec)
+
+
+@pytest.fixture(scope="session")
+def suite_run_2080(corpus, rtx2080):
+    """All seven implementations over the corpus on the 2080 Ti model."""
+    spec, cost = rtx2080
+    run = run_suite(solvers=ALL_SOLVERS, suite=corpus, spec=spec, cost=cost)
+    assert not run.verification_failures, run.verification_failures[:3]
+    return run
+
+
+@pytest.fixture(scope="session")
+def adds_nf_run_3090(corpus, rtx3090):
+    """ADDS vs NF on the 3090 model (Table 5 rows 1-2)."""
+    spec, cost = rtx3090
+    run = run_suite(solvers=("adds", "nf"), suite=corpus, spec=spec, cost=cost)
+    assert not run.verification_failures, run.verification_failures[:3]
+    return run
+
+
+@pytest.fixture()
+def report(request):
+    """Print a bench's report and persist it under benchmarks/reports/."""
+
+    def emit(text: str) -> None:
+        print("\n" + text)
+        REPORT_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return emit

@@ -1,0 +1,188 @@
+"""Design-choice ablations beyond the paper's Table 5.
+
+DESIGN.md calls out several load-bearing design decisions inside ADDS
+that the paper fixes by construction; this bench quantifies each on
+representative graphs:
+
+- **WTB count** — delegation only pays if many workers can feed off one
+  manager;
+- **segment size (N)** — the WCC granularity of §5.2: tiny segments mean
+  metadata churn, huge ones delay readability of partially-filled tails;
+- **assignment edge budget** — chunking bursts by edges rather than items
+  (the feature that keeps narrow frontiers spread across blocks);
+- **active-bucket window** — §5.4's multi-bucket assignment optimization;
+- **safe vs unsafe rotation** — the §5.4 CWC guard vs the cramming
+  failure mode it prevents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import AddsConfig, solve_adds
+from repro.graphs import named_graph
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "road": named_graph("road-usa-mini"),
+        "rmat": named_graph("rmat22-mini"),
+        "mesh": named_graph("msdoor-mini"),
+    }
+
+
+def run(g, spec, cost, cfg, delta=None):
+    r = solve_adds(g, 0, spec=spec, cost=cost, config=cfg, delta=delta)
+    return r
+
+
+def test_ablation_wtb_count(graphs, rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    counts = (1, 2, 4, 8, 15)
+
+    def sweep():
+        return {
+            label: [run(g, spec, cost, AddsConfig(n_wtbs=n)).time_us for n in counts]
+            for label, g in graphs.items()
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[label] + [f"{t:.0f}" for t in ts] for label, ts in times.items()]
+    report(format_table(
+        ["graph \\ WTBs"] + [str(c) for c in counts], rows,
+        title="Ablation: time (us) vs worker thread block count",
+    ))
+    for label, ts in times.items():
+        assert ts[-1] < ts[0], f"{label}: 15 WTBs should beat 1"
+        # scaling saturates: the last doubling gains less than the first
+        first_gain = ts[0] / ts[1]
+        last_gain = ts[-2] / ts[-1]
+        assert first_gain > last_gain * 0.8
+
+
+def test_ablation_segment_size(graphs, rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    sizes = (4, 16, 32, 128)
+
+    def sweep():
+        out = {}
+        for label, g in graphs.items():
+            out[label] = [
+                run(g, spec, cost, AddsConfig(segment_size=s, slots_per_block=2048))
+                for s in sizes
+            ]
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [label] + [f"{r.time_us:.0f}" for r in rs] for label, rs in results.items()
+    ]
+    report(format_table(
+        ["graph \\ N"] + [str(s) for s in sizes], rows,
+        title="Ablation: time (us) vs WCC segment size N (section 5.2)",
+    ))
+    # correctness is independent of N; all sizes must agree on distances
+    import numpy as np
+
+    for label, rs in results.items():
+        for r in rs[1:]:
+            np.testing.assert_array_equal(rs[0].dist, r.dist)
+
+
+def test_ablation_edge_budget(graphs, rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    budgets = (64, 256, 1024, 10**6)
+
+    def sweep():
+        return {
+            label: [
+                run(g, spec, cost, AddsConfig(target_chunk_edges=b)).time_us
+                for b in budgets
+            ]
+            for label, g in graphs.items()
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[label] + [f"{t:.0f}" for t in ts] for label, ts in times.items()]
+    report(format_table(
+        ["graph \\ edges/chunk"] + [str(b) for b in budgets], rows,
+        title="Ablation: time (us) vs assignment edge budget",
+    ))
+    # the monolithic extreme (whole bursts to one WTB) must lose to the
+    # one-wave budget on the dense mesh, where serialization bites hardest
+    assert times["mesh"][-1] > times["mesh"][1]
+
+
+def test_ablation_active_bucket_window(graphs, rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    windows = (1, 2, 4, 8)
+
+    def sweep():
+        out = {}
+        for label, g in graphs.items():
+            out[label] = [
+                run(
+                    g, spec, cost,
+                    AddsConfig(
+                        dynamic_delta=False,
+                        min_active_buckets=w,
+                        max_active_buckets=w,
+                    ),
+                )
+                for w in windows
+            ]
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = []
+    for metric, fmt in (("time_us", "{:.0f}"), ("work_count", "{}")):
+        rows = [
+            [label] + [fmt.format(getattr(r, metric)) for r in rs]
+            for label, rs in results.items()
+        ]
+        lines.append(format_table(
+            ["graph \\ window"] + [str(w) for w in windows], rows,
+            title=f"Ablation: {metric} vs active-bucket window (section 5.4)",
+        ))
+        lines.append("")
+    report("\n".join(lines))
+    # wider windows trade work for parallelism on the starved road graph
+    road = results["road"]
+    assert road[-1].work_count >= road[0].work_count
+    assert road[-1].time_us < road[0].time_us
+
+
+def test_ablation_unsafe_rotation(graphs, rtx2080, benchmark, report):
+    """§5.4's failure mode, measured: rotating before CWC catches up
+    clips spawned work into the wrong band ('continuous cramming')."""
+    spec, cost = rtx2080
+
+    def sweep():
+        out = {}
+        for label, g in graphs.items():
+            safe = run(g, spec, cost, AddsConfig(n_wtbs=8))
+            unsafe = run(g, spec, cost, AddsConfig(n_wtbs=8, unsafe_rotation=True))
+            out[label] = (safe, unsafe)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [label,
+         f"{safe.stats['low_clips']}", f"{unsafe.stats['low_clips']}",
+         f"{safe.work_count}", f"{unsafe.work_count}"]
+        for label, (safe, unsafe) in results.items()
+    ]
+    report(format_table(
+        ["graph", "clips safe", "clips unsafe", "work safe", "work unsafe"],
+        rows,
+        title="Ablation: safe vs unsafe head-bucket rotation (section 5.4)",
+    ))
+    import numpy as np
+
+    total_safe_clips = sum(s.stats["low_clips"] for s, _ in results.values())
+    total_unsafe_clips = sum(u.stats["low_clips"] for _, u in results.values())
+    assert total_unsafe_clips >= total_safe_clips
+    for label, (safe, unsafe) in results.items():
+        np.testing.assert_array_equal(safe.dist, unsafe.dist)  # still exact

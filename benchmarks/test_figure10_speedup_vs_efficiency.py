@@ -1,0 +1,68 @@
+"""Figure 10 — correlation between speedup and work efficiency.
+
+Every graph becomes a point (work-efficiency gain, speedup), both ADDS
+over NF.  The paper reads three regions off this plane (§6.4): a large
+cluster above the diagonal (speedup from parallelism: road-class), points
+on the diagonal (speedup from work efficiency: rmat/msdoor-class) and at
+most a few below it (work saved but parallelism lost: c-big).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter, efficiency_points
+from repro.graphs.suite import NAMED_STANDINS
+
+
+def build_points(run):
+    pairs = [
+        (rec.results["adds"], rec.results["nf"]) for rec in run.records
+    ]
+    return efficiency_points(pairs)
+
+
+def test_figure10_correlation(suite_run_2080, benchmark, report):
+    pts = benchmark.pedantic(build_points, args=(suite_run_2080,), rounds=1, iterations=1)
+
+    labels = [
+        p.graph[0].upper() if p.graph in NAMED_STANDINS else "*" for p in pts
+    ]
+    lines = [ascii_scatter(
+        [p.work_gain for p in pts],
+        [p.speedup for p in pts],
+        log_x=True,
+        log_y=True,
+        labels=labels,
+        title="Figure 10. Speedup vs work-efficiency gain (ADDS over NF, "
+              "log-log; named stand-ins tagged by initial; diagonal = "
+              "speedup fully explained by work savings)",
+    )]
+    regions = {"parallelism": 0, "work": 0, "underparallel": 0}
+    for p in pts:
+        regions[p.region] += 1
+    n = len(pts)
+    lines.append("")
+    lines.append(
+        f"regions: above diagonal (parallelism) {regions['parallelism']} "
+        f"({100 * regions['parallelism'] // n}%), on diagonal (work) "
+        f"{regions['work']} ({100 * regions['work'] // n}%), below "
+        f"(underparallel) {regions['underparallel']} "
+        f"({100 * regions['underparallel'] // n}%)"
+    )
+    named = {p.graph: p for p in pts if p.graph in NAMED_STANDINS}
+    for name, p in sorted(named.items()):
+        lines.append(f"  {name}: s={p.speedup:.2f}x w={p.work_gain:.2f}x -> {p.region}")
+    report("\n".join(lines))
+
+    # --- shape assertions -------------------------------------------------
+    # "many graphs clustered in this [upper left] region"
+    assert regions["parallelism"] >= n // 4
+    # some graphs sit on the diagonal — work-efficiency-driven speedups
+    assert regions["work"] >= 3
+    # below-diagonal points are rare ("just 1 graph ... far off the line")
+    assert regions["underparallel"] <= n // 4
+    # the road stand-in must be a parallelism win: more work, yet faster
+    road = named["road-usa-mini"]
+    assert road.work_gain < 1.0 and road.speedup > 1.0

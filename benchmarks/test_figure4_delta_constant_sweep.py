@@ -1,0 +1,79 @@
+"""Figure 4 — execution time vs the heuristic constant C, for two graphs.
+
+The paper sweeps C in Δ = C·(W/D) over powers of two for two inputs and
+shows (1) the choice of Δ matters a lot and (2) the optima are far apart,
+so no constant suits all graphs.  We run NF (the algorithm the heuristic
+belongs to) over a road-class and a mesh-class stand-in.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_series, format_table
+from repro.baselines import davidson_delta, solve_nf
+from repro.graphs import named_graph
+
+#: C = 2**k for k in this range (the paper labels its x-axis in powers of 2)
+C_EXPONENTS = list(range(-2, 13, 2))
+
+
+def sweep(graph, spec, cost):
+    rows = []
+    for k in C_EXPONENTS:
+        delta = davidson_delta(graph, 2.0**k)
+        r = solve_nf(graph, 0, spec=spec, cost=cost, delta=delta)
+        rows.append((k, delta, r.time_us, r.work_count))
+    return rows
+
+
+def test_figure4_c_sweep(rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    road = named_graph("road-usa-mini")
+    mesh = named_graph("msdoor-mini")
+
+    def run():
+        return sweep(road, spec, cost), sweep(mesh, spec, cost)
+
+    road_rows, mesh_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def normalized(rows):
+        tmin = min(t for _, _, t, _ in rows)
+        return [(k, t / tmin) for k, _, t, _ in rows]
+
+    road_n = normalized(road_rows)
+    mesh_n = normalized(mesh_rows)
+    lines = [format_table(
+        ["log2(C)"] + [str(k) for k in C_EXPONENTS],
+        [
+            [road.name] + [f"{t:.2f}" for _, t in road_n],
+            [mesh.name] + [f"{t:.2f}" for _, t in mesh_n],
+        ],
+        title="Figure 4. NF execution time vs constant C "
+              "(normalized to each series' minimum; lower is better)",
+    )]
+    lines.append("")
+    lines.append(ascii_series(
+        {
+            "road": [(k, t) for k, t in road_n],
+            "mesh": [(k, t) for k, t in mesh_n],
+        },
+        title="normalized time vs log2(C)",
+    ))
+    best_road = min(road_n, key=lambda kt: kt[1])[0]
+    best_mesh = min(mesh_n, key=lambda kt: kt[1])[0]
+    lines.append(f"optimal log2(C): road={best_road}, mesh={best_mesh} "
+                 f"(paper: optima orders of magnitude apart)")
+    report("\n".join(lines))
+
+    # --- shape assertions -------------------------------------------------
+    # (1) the choice of C has significant impact for each graph
+    assert max(t for _, t in road_n) > 1.5
+    assert max(t for _, t in mesh_n) > 1.3
+    # (2) the optima are far apart: no single C within a factor of ~4 of
+    # both optima
+    assert abs(best_road - best_mesh) >= 4, (
+        f"optima too close: road 2^{best_road} vs mesh 2^{best_mesh}"
+    )

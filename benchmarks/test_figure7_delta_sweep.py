@@ -1,0 +1,104 @@
+"""Figure 7 — execution time and work vs static Δ, for RMAT/ROAD/MSDOOR.
+
+The paper fixes Δ (32 buckets, dynamic selection off), sweeps it, and
+normalizes both time and work to each series' minimum.  Three regimes:
+
+- RMAT (7a): time correlates with work; best-work-point == best-perf-point;
+- ROAD (7b): the best-perf point does far more work than the best-work
+  point but wins big on time (underutilization dominates);
+- MSDOOR (7c): in between;
+- for all three, the clip-point (tiny Δ) is worse than best-work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import davidson_delta
+from repro.core import AddsConfig, solve_adds
+from repro.graphs import named_graph
+
+MULTIPLIERS = (0.015625, 0.0625, 0.25, 1.0, 4.0, 16.0)
+
+
+def sweep(graph, spec, cost):
+    cfg = AddsConfig().static_delta_ablation().replace(
+        min_active_buckets=8, max_active_buckets=8
+    )
+    h = davidson_delta(graph)
+    rows = []
+    for m in MULTIPLIERS:
+        r = solve_adds(graph, 0, spec=spec, cost=cost, config=cfg,
+                       delta=max(0.25, h * m))
+        rows.append((m, r.time_us, r.work_count, r.stats["high_clips"]))
+    return rows
+
+
+def analyze(rows):
+    tmin = min(t for _, t, _, _ in rows)
+    wmin = min(w for _, _, w, _ in rows)
+    best_perf = min(rows, key=lambda r: r[1])[0]
+    best_work = min(rows, key=lambda r: r[2])[0]
+    return tmin, wmin, best_perf, best_work
+
+
+def test_figure7_delta_sweep(rtx2080, benchmark, report):
+    spec, cost = rtx2080
+    graphs = {
+        "RMAT": named_graph("rmat22-mini"),
+        "ROAD": named_graph("road-usa-mini"),
+        "MSDOOR": named_graph("msdoor-mini"),
+    }
+
+    def run():
+        return {label: sweep(g, spec, cost) for label, g in graphs.items()}
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    summary = {}
+    for label, rows in sweeps.items():
+        tmin, wmin, best_perf, best_work = analyze(rows)
+        summary[label] = (tmin, wmin, best_perf, best_work, rows)
+        lines.append(format_table(
+            ["delta mult"] + [f"{m:g}" for m, *_ in rows],
+            [
+                ["time (norm)"] + [f"{t / tmin:.2f}" for _, t, _, _ in rows],
+                ["work (norm)"] + [f"{w / wmin:.2f}" for _, _, w, _ in rows],
+                ["clips"] + [str(c) for _, _, _, c in rows],
+            ],
+            title=f"Figure 7 ({label}): time and work vs static delta "
+                  f"(normalized to series minimum)",
+        ))
+        lines.append(f"  best-perf at {best_perf:g}x heuristic, "
+                     f"best-work at {best_work:g}x")
+        lines.append("")
+    report("\n".join(lines))
+
+    # --- shape assertions -------------------------------------------------
+    for label, rows in sweeps.items():
+        works = [w for _, _, w, _ in rows]
+        # work decreases monotonically-ish as delta shrinks, until clipping
+        assert works[1] <= works[-1], f"{label}: work should fall with delta"
+
+    # RMAT (7a): best-perf is at/near best-work — time tracks work (we
+    # allow some slack: at simulation scale the smallest deltas add
+    # scheduler overhead that the paper's full-size runs amortize)
+    t_r, w_r, bp_r, bw_r, rows_r = summary["RMAT"]
+    t_at_bw = next(t for m, t, _, _ in rows_r if m == bw_r)
+    assert t_at_bw <= 1.5 * t_r, "RMAT: best-work point should be near-best time"
+
+    # ROAD (7b): best-perf does substantially more work than best-work
+    t_o, w_o, bp_o, bw_o, rows_o = summary["ROAD"]
+    assert bp_o > bw_o, "ROAD: best-perf delta should exceed best-work delta"
+    w_at_bp = next(w for m, _, w, _ in rows_o if m == bp_o)
+    t_at_bw = next(t for m, t, _, _ in rows_o if m == bw_o)
+    assert w_at_bp > 1.5 * w_o, "ROAD: best-perf should trade work away"
+    assert t_at_bw > 1.5 * t_o, "ROAD: best-work point should be much slower"
+
+    # clip-point worse than best-work everywhere it clips
+    for label, (tmin, wmin, bp, bw, rows) in summary.items():
+        m0, t0, w0, c0 = rows[0]  # smallest delta
+        if c0 > 0:
+            assert w0 >= wmin, f"{label}: clipping should not reduce work"

@@ -1,0 +1,97 @@
+"""Figures 11–15 — parallelism over time for the five case-study graphs.
+
+Each figure plots the amount of available/assigned parallelism (edge
+count) against execution time for ADDS and NF on one graph:
+
+- Fig 11 road-USA   (paper s:3.09x w:0.19x) — NF starves the device;
+  ADDS floods it and finishes much sooner despite far more work;
+- Fig 12 BenElechi1 (s:4x,    w:2.12x) — both effects combine;
+- Fig 13 msdoor     (s:5.57x, w:4x)    — mostly work efficiency;
+- Fig 14 rmat22     (s:2.29x, w:2.18x) — pure work efficiency;
+- Fig 15 c-big      (s:1.6x,  w:3.35x) — short run, Δ cannot ramp.
+
+The §6.4 prose also pins Gun-BF vs ADDS on road-USA: far more work, far
+slower — asserted here as the "ordering still matters" guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_series
+from repro.baselines import solve_gun_bf, solve_nf
+from repro.core import solve_adds
+from repro.graphs import named_graph
+
+#: name -> (figure number, paper speedup, paper work-gain)
+CASES = {
+    "road-usa-mini": (11, 3.09, 0.19),
+    "benelechi1-mini": (12, 4.0, 2.12),
+    "msdoor-mini": (13, 5.57, 4.0),
+    "rmat22-mini": (14, 2.29, 2.18),
+    "c-big-mini": (15, 1.6, 3.35),
+}
+
+
+def run_case(name, spec, cost):
+    g = named_graph(name)
+    adds = solve_adds(g, 0, spec=spec, cost=cost)
+    nf = solve_nf(g, 0, spec=spec, cost=cost)
+    return adds, nf
+
+
+def test_figures11_15_timelines(rtx2080, benchmark, report):
+    spec, cost = rtx2080
+
+    def run_all():
+        return {name: run_case(name, spec, cost) for name in CASES}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    measured = {}
+    for name, (fig, ps, pw) in CASES.items():
+        adds, nf = results[name]
+        s = nf.time_us / adds.time_us
+        w = nf.work_count / adds.work_count
+        measured[name] = (s, w, adds, nf)
+        lines.append(
+            f"Figure {fig}. {name}: s:{s:.2f}x w:{w:.2f}x "
+            f"(paper s:{ps}x w:{pw}x)"
+        )
+        lines.append(ascii_series(
+            {"adds": adds.timeline.to_rows(), "nf": nf.timeline.to_rows()},
+            log_y=True,
+            title="  parallelism (edge count) over execution time (us)",
+        ))
+        lines.append("")
+    report("\n".join(lines))
+
+    # --- per-figure shape assertions ---------------------------------------
+    s, w, adds, nf = measured["road-usa-mini"]
+    assert s > 1.5, "Fig 11: ADDS must beat NF on the road graph"
+    assert w < 0.8, "Fig 11: ADDS does (much) more work on the road graph"
+    assert adds.timeline.time_average() > nf.timeline.time_average(), (
+        "Fig 11: ADDS must sustain more parallelism than NF on road"
+    )
+    assert adds.timeline.duration_us < nf.timeline.duration_us
+
+    s, w, *_ = measured["benelechi1-mini"]
+    assert s > 1.5 and w > 1.2, "Fig 12: both parallelism and work must help"
+
+    s, w, *_ = measured["msdoor-mini"]
+    assert s > 1.2 and w > 1.0, "Fig 13: work-efficiency-driven win"
+
+    s, w, *_ = measured["rmat22-mini"]
+    assert s > 1.0 and w > 1.0, "Fig 14: work efficiency drives the speedup"
+    assert s / w < 2.5, "Fig 14: rmat speedup should roughly track work"
+
+    s, w, adds, nf = measured["c-big-mini"]
+    assert s > 1.0, "Fig 15: modest win"
+
+    # §6.4 prose: Gun-BF on road — much more work, much slower than ADDS
+    g = named_graph("road-usa-mini")
+    bf = solve_gun_bf(g, 0, spec=spec, cost=cost)
+    adds_road = measured["road-usa-mini"][2]
+    assert bf.work_count > 1.3 * adds_road.work_count
+    assert bf.time_us > 2.0 * adds_road.time_us

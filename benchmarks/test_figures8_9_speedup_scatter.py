@@ -1,0 +1,81 @@
+"""Figures 8 and 9 — speedup of ADDS over NF vs graph degree and diameter.
+
+The paper's scatter plots show the speedup is "largely independent of the
+graph's degree or diameter" — because ADDS optimizes both parallelism
+(helping high-diameter graphs) and work efficiency (helping dense ones).
+We regenerate both scatters and test that independence: the log-speedup
+explained by either structural variable stays small.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter
+from repro.graphs.metrics import compute_stats
+
+
+def gather(run, corpus):
+    by_name = {e.name: e for e in corpus}
+    xs_deg, xs_dia, ys = [], [], []
+    for rec in run.records:
+        stats = compute_stats(by_name[rec.graph].graph())
+        xs_deg.append(stats.avg_degree)
+        xs_dia.append(max(1, stats.diameter))
+        ys.append(rec.ratio("time", "adds", "nf"))
+    return np.array(xs_deg), np.array(xs_dia), np.array(ys)
+
+
+def rsquared(x_log, y_log):
+    if np.std(x_log) == 0:
+        return 0.0
+    r = np.corrcoef(x_log, y_log)[0, 1]
+    return float(r * r)
+
+
+def test_figures8_9_scatter(suite_run_2080, corpus, benchmark, report):
+    deg, dia, speed = benchmark.pedantic(
+        gather, args=(suite_run_2080, corpus), rounds=1, iterations=1
+    )
+
+    lines = [ascii_scatter(
+        deg.tolist(), speed.tolist(), log_x=True, log_y=True,
+        title="Figure 8. Speedup of ADDS over NF vs average degree "
+              "(log-log; each * is one graph)",
+    )]
+    lines.append("")
+    lines.append(ascii_scatter(
+        dia.tolist(), speed.tolist(), log_x=True, log_y=True,
+        title="Figure 9. Speedup of ADDS over NF vs diameter (log-log)",
+    ))
+    r2_deg = rsquared(np.log(deg), np.log(speed))
+    r2_dia = rsquared(np.log(dia), np.log(speed))
+    lines.append("")
+    lines.append(
+        f"log-log R^2: degree {r2_deg:.2f}, diameter {r2_dia:.2f} "
+        "(paper: speedup largely independent of both)"
+    )
+    report("\n".join(lines))
+
+    # --- shape assertions -------------------------------------------------
+    # speedups are spread across the structural range: both low- and
+    # high-degree graphs contain winners
+    lo_deg = speed[deg < 6]
+    hi_deg = speed[deg >= 16]
+    assert lo_deg.size and hi_deg.size
+    assert np.median(lo_deg) > 1.2 and np.median(hi_deg) > 1.0
+    lo_dia = speed[dia < 40]
+    hi_dia = speed[dia >= 100]
+    assert lo_dia.size and hi_dia.size
+    assert np.median(hi_dia) > 1.2
+    # independence: neither structural variable explains most of the
+    # variance.  Degree matches the paper's near-zero correlation; for
+    # diameter the simulation shows a moderate positive trend (at this
+    # scale NF's per-iteration overhead penalty grows directly with
+    # iteration count, which tracks diameter) — a documented deviation,
+    # see EXPERIMENTS.md — so the bound is looser there.
+    assert r2_deg < 0.4
+    assert r2_dia < 0.75

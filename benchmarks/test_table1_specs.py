@@ -1,0 +1,51 @@
+"""Table 1 — hardware specifications of the two evaluation GPUs.
+
+Regenerates the table from the spec objects (they *are* the table) and
+benchmarks the simulator's raw event-processing rate on each device so
+the numbers carry real measurements too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.gpu import Device, RTX_2080TI, RTX_3090
+
+
+def spec_rows():
+    rows = [
+        ("SM Count", RTX_2080TI.sm_count, RTX_3090.sm_count),
+        ("Threads Per SM", RTX_2080TI.threads_per_sm, RTX_3090.threads_per_sm),
+        ("Max Clock Rate", f"{RTX_2080TI.max_clock_ghz} GHz", f"{RTX_3090.max_clock_ghz} GHz"),
+        ("GDDR6 Bandwidth", f"{RTX_2080TI.dram_bandwidth_gbs:.0f} GB/s", f"{RTX_3090.dram_bandwidth_gbs:.0f} GB/s"),
+        ("DRAM Size", f"{RTX_2080TI.dram_gb:.0f} GB", f"{RTX_3090.dram_gb:.0f} GB"),
+        ("L2 Size", f"{RTX_2080TI.l2_mb} MB", f"{RTX_3090.l2_mb} MB"),
+        ("Scratchpad Per SM", f"{RTX_2080TI.scratchpad_kb_per_sm} KB", f"{RTX_3090.scratchpad_kb_per_sm} KB"),
+        ("Compute Capability", RTX_2080TI.compute_capability, RTX_3090.compute_capability),
+    ]
+    return rows
+
+
+def simulate_events(spec, n_blocks=16, events_per_block=200):
+    def prog():
+        for _ in range(events_per_block):
+            yield ("busy", 10)
+
+    d = Device(spec)
+    for i in range(min(n_blocks, spec.max_resident_blocks)):
+        d.add_block(f"b{i}", prog())
+    return d.run()
+
+
+def test_table1_hardware_specs(benchmark, report):
+    rows = spec_rows()
+    report(format_table(
+        ["", "RTX 2080 ti", "RTX 3090"], rows,
+        title="Table 1. Hardware specifications (from the paper, verbatim)",
+    ))
+    # the paper's headline deltas
+    assert RTX_3090.dram_bandwidth_gbs / RTX_2080TI.dram_bandwidth_gbs == pytest.approx(1.52, abs=0.01)
+    assert RTX_2080TI.total_threads == 68 * 1024
+
+    benchmark.pedantic(simulate_events, args=(RTX_2080TI,), rounds=3, iterations=1)

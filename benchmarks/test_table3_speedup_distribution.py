@@ -1,0 +1,76 @@
+"""Table 3 — distribution of ADDS's speedup over all six baselines.
+
+The paper's headline: average speedups of 2.9x, 5.8x, 9.6x, 13.4x over
+NF, Gun-NF, Gun-BF, NV; 14.2x over CPU-DS and 34.4x over serial Dijkstra;
+ADDS slower than NF on only 4% of graphs and >=1.5x faster on 78.8%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bin_ratios, format_distribution_table
+
+#: (baseline, paper's average speedup of ADDS over it)
+PAPER_AVERAGES = {
+    "nf": 2.9,
+    "gun-nf": 5.8,
+    "gun-bf": 9.6,
+    "nv": 13.4,
+    "cpu-ds": 14.2,
+    "dijkstra": 34.4,
+}
+
+PAPER_NF_ROW = "8 (4%)  13 (6%)  27 (12%)  44 (19%)  54 (24%)  59 (26%)  21 (9%)"
+
+
+def test_table3_speedups(suite_run_2080, benchmark, report):
+    run = suite_run_2080
+
+    def build_distributions():
+        return {
+            base: bin_ratios(run.speedups("adds", base), label=base.upper())
+            for base in PAPER_AVERAGES
+        }
+
+    dists = benchmark.pedantic(build_distributions, rounds=1, iterations=1)
+
+    lines = [format_distribution_table(
+        list(dists.values()),
+        title=f"Table 3. Distribution of speedup of ADDS over each baseline "
+              f"({dists['nf'].total} graphs)",
+    )]
+    lines.append("")
+    lines.append(f"{'baseline':9s} {'mean':>7s} {'geomean':>8s} {'paper mean':>11s}")
+    for base, d in dists.items():
+        lines.append(
+            f"{base:9s} {d.arithmetic_mean:7.2f} {d.geomean:8.2f} "
+            f"{PAPER_AVERAGES[base]:11.1f}"
+        )
+    lines.append("")
+    lines.append(f"paper NF row: {PAPER_NF_ROW}")
+    lines.append(
+        f"ADDS >=1.5x faster than NF on "
+        f"{100 * dists['nf'].fraction_at_least(1.5):.1f}% of graphs "
+        "(paper: 78.8%)"
+    )
+    report("\n".join(lines))
+
+    nf = dists["nf"]
+    # --- shape assertions -------------------------------------------------
+    # headline: ~2.9x average over NF (we accept a generous band)
+    assert 2.0 <= nf.arithmetic_mean <= 4.0
+    # ADDS loses on only a small fraction of graphs (paper: 4%)
+    assert nf.fraction("<0.9x") <= 0.12
+    # the majority sees >=1.5x (paper: 78.8%)
+    assert nf.fraction_at_least(1.5) >= 0.6
+    # the paper's baseline ordering: NF is the strongest baseline, NV the
+    # weakest GPU one, serial Dijkstra the slowest overall
+    assert nf.arithmetic_mean < dists["gun-nf"].arithmetic_mean
+    assert dists["gun-nf"].arithmetic_mean < dists["nv"].arithmetic_mean
+    assert dists["gun-bf"].arithmetic_mean < dists["nv"].arithmetic_mean
+    assert dists["dijkstra"].arithmetic_mean == max(
+        d.arithmetic_mean for d in dists.values()
+    )
+    # GPU beats the multicore CPU on the vast majority of graphs
+    assert dists["cpu-ds"].fraction_at_least(1.0) >= 0.7

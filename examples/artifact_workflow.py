@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The artifact's workflow end-to-end: build_all / run_all / verify_against.
+
+The paper's Zenodo artifact ships GR graph files, runs every solver over
+them producing ``<solver>_result`` files (graph, time, work count) and
+``*_final_dist`` directories, then cross-checks distances with
+``verify.py``.  This example reproduces that exact pipeline on a small
+corpus, including the on-disk formats.
+
+Run:  python examples/artifact_workflow.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.graphs.suite import SuiteEntry
+from repro.harness import run_suite, write_result_files
+from repro.validation import verify_dist_files, write_dist_file
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    inputs = out / "inputs" / "sssp-int"
+    inputs.mkdir(parents=True, exist_ok=True)
+
+    # --- step 1: produce the GR input files (inputs/sssp-int/graph.gr) ----
+    corpus = [
+        repro.grid_road(48, 32, seed=1, name="road-mini"),
+        repro.rmat(11, seed=2, name="rmat-mini"),
+        repro.fem_mesh(3000, band=20, stride=2, seed=3, name="mesh-mini"),
+    ]
+    for g in corpus:
+        repro.write_gr(g, inputs / f"{g.name}.gr")
+    print(f"wrote {len(corpus)} GR files to {inputs}")
+
+    # --- step 2: ./run_all.sh — every solver over every input -------------
+    suite = [
+        SuiteEntry(name=p.stem, category="file",
+                   factory=lambda p=p: repro.read_gr(p))
+        for p in sorted(inputs.glob("*.gr"))
+    ]
+    solvers = ("adds", "nf", "gun-nf", "gun-bf", "cpu-ds", "dijkstra")
+    run = run_suite(solvers=solvers, suite=suite)
+    paths = write_result_files(run, out)
+    print(f"result files: {', '.join(p.name for p in paths)}")
+    print((out / "adds_result").read_text().rstrip())
+
+    # --- step 3: *_final_dist directories ---------------------------------
+    for solver in solvers:
+        dist_dir = out / f"{solver.replace('-', '_')}_final_dist"
+        dist_dir.mkdir(exist_ok=True)
+        for rec in run.records:
+            write_dist_file(rec.results[solver], dist_dir / rec.graph)
+
+    # --- step 4: ./verify_against_* ----------------------------------------
+    mismatches = 0
+    for solver in solvers[1:]:
+        for rec in run.records:
+            a = out / "adds_final_dist" / rec.graph
+            b = out / f"{solver.replace('-', '_')}_final_dist" / rec.graph
+            bad = verify_dist_files(a, b)
+            for m in bad[:3]:
+                print(f"MISMATCH {solver}/{rec.graph}: {m}")
+            mismatches += len(bad)
+    if mismatches == 0:
+        print("verify_against_*: all solvers agree on all final distances")
+    else:
+        raise SystemExit(f"{mismatches} mismatches found")
+
+    print(f"\nartifact tree under {out}:")
+    for p in sorted(out.rglob("*")):
+        if p.is_file():
+            print("  ", p.relative_to(out))
+
+
+if __name__ == "__main__":
+    main()

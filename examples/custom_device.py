@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Custom devices: the §6.5 robustness experiment on your own hardware.
+
+The paper re-runs ADDS untouched on an RTX 3090 and the speedup *grows*
+(2.9x -> 3.5x) because the dynamic scheduler adapts to the extra
+bandwidth and threads.  This example repeats that experiment on the two
+paper GPUs plus a hypothetical future device, using the same scaled cost
+model everywhere, and prints how the controller's chosen delta responds.
+
+Run:  python examples/custom_device.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import repro
+from repro.calibration import sim_cost, sim_gpu
+from repro.gpu.specs import RTX_2080TI, RTX_3090, DeviceSpec
+
+# A made-up next-generation part: half again the SMs and double the
+# bandwidth of the 3090 (per-SM resources unchanged).
+FUTURE_GPU = DeviceSpec(
+    name="Hypothetical GX-5000",
+    sm_count=128,
+    threads_per_sm=1536,
+    max_clock_ghz=2.0,
+    dram_bandwidth_gbs=1900.0,
+    dram_gb=48.0,
+    l2_mb=96.0,
+    scratchpad_kb_per_sm=64,
+    compute_capability="10.0",
+)
+
+
+def main() -> None:
+    graphs = [
+        repro.named_graph("road-usa-mini"),
+        repro.named_graph("rmat22-mini"),
+        repro.named_graph("msdoor-mini"),
+    ]
+
+    devices = [RTX_2080TI, RTX_3090, FUTURE_GPU]
+    print(f"{'graph':16s}" + "".join(f"{d.name:>24s}" for d in devices))
+    print(f"{'':16s}" + "".join(f"{'ADDS/NF speedup':>24s}" for _ in devices))
+    for graph in graphs:
+        cells = []
+        for base in devices:
+            spec = sim_gpu(base)
+            cost = sim_cost(spec)
+            adds = repro.sssp(graph, 0, spec=spec, cost=cost)
+            nf = repro.sssp(graph, 0, algorithm="nf", spec=spec, cost=cost)
+            cells.append(
+                f"{nf.time_us / adds.time_us:6.2f}x (d->{adds.stats['final_delta']:.0f})"
+            )
+        print(f"{graph.name:16s}" + "".join(f"{c:>24s}" for c in cells))
+
+    print()
+    print("Device details (scaled for the simulation corpus, see repro.calibration):")
+    for base in devices:
+        spec = sim_gpu(base)
+        print(f"  {base.name:22s}: {spec.sm_count} SMs, "
+              f"{spec.total_threads} threads, {spec.dram_bandwidth_gbs:.0f} GB/s")
+
+    print()
+    print("No solver code changed between devices — only the DeviceSpec —")
+    print("mirroring §6.5: 'the robustness of ADDS' mechanism for dynamically")
+    print("selecting delta values, which performs well on the newer hardware")
+    print("with no tuning of the source code.'")
+
+
+if __name__ == "__main__":
+    main()

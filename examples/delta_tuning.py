@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Δ tuning: the tradeoff of §5.5 and Figures 4/6/7, hands on.
+
+Sweeps a static Δ across three structurally different graphs and prints
+the time/work curves (Figure 7's experiment), then runs the dynamic
+controller and shows its Δ trace converging near the best static point
+without being told anything about the graph.
+
+Run:  python examples/delta_tuning.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core import AddsConfig
+
+
+def sweep(graph, multipliers=(0.0625, 0.25, 1.0, 4.0, 16.0)):
+    heuristic = repro.davidson_delta(graph)
+    static_cfg = AddsConfig().static_delta_ablation()
+    rows = []
+    for m in multipliers:
+        delta = max(1.0, heuristic * m)
+        r = repro.sssp(graph, 0, config=static_cfg, delta=delta)
+        rows.append((m, delta, r.time_us, r.work_count, r.stats["high_clips"]))
+    return heuristic, rows
+
+
+def main() -> None:
+    graphs = {
+        "power law (rmat)": repro.named_graph("rmat22-mini"),
+        "road network": repro.named_graph("road-usa-mini"),
+        "FEM mesh (msdoor)": repro.named_graph("msdoor-mini"),
+    }
+
+    for label, graph in graphs.items():
+        heuristic, rows = sweep(graph)
+        best_t = min(t for _, _, t, _, _ in rows)
+        best_w = min(w for _, _, _, w, _ in rows)
+        print(f"== {label}: {graph.name} (heuristic delta = {heuristic:.0f})")
+        print(f"   {'delta':>10s} {'time(us)':>10s} {'time rel':>9s} "
+              f"{'work':>8s} {'work rel':>9s} {'clipped':>8s}")
+        for m, d, t, w, clips in rows:
+            marks = []
+            if t == best_t:
+                marks.append("best-perf")
+            if w == best_w:
+                marks.append("best-work")
+            if clips > 0:
+                marks.append("CLIP")
+            print(f"   {d:10.0f} {t:10.1f} {t / best_t:8.2f}x "
+                  f"{w:8d} {w / best_w:8.2f}x {clips:8d}  {' '.join(marks)}")
+
+        # now the dynamic controller, starting from the heuristic
+        r = repro.sssp(graph, 0)  # dynamic ADDS, all defaults
+        print(f"   dynamic: time {r.time_us:.1f}us ({r.time_us / best_t:.2f}x of "
+              f"best static), work {r.work_count}")
+        trace = r.stats["delta_trace"]
+        if trace:
+            path = " -> ".join(f"{d:.0f}" for _, d in trace[:8])
+            print(f"   delta trace: {r.stats['initial_delta']:.0f} -> {path}")
+        else:
+            print(f"   delta trace: stayed at {r.stats['initial_delta']:.0f} "
+                  "(heuristic already in the controller's comfort band)")
+        print()
+
+    print("Takeaways (matching Figure 7):")
+    print(" - work always falls as delta shrinks, until clipping (CLIP rows);")
+    print(" - on saturated graphs the best-perf point coincides with best-work;")
+    print(" - on starved (road) graphs best-perf needs a larger delta than")
+    print("   best-work - extra work is cheaper than idle hardware;")
+    print(" - the dynamic controller lands near best-perf with no per-graph input.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Social-network analysis: the power-law workload (rmat-class graphs).
+
+Scenario: computing weighted hop distances from an influencer account
+over a social graph — "a small number of vertices have extremely high
+degree, while the vast majority of vertices have low degree" (§6.1.1).
+On this class every scheduler saturates the GPU, so the winner is decided
+by *work efficiency* (the Figure 14 regime: "the speedup correlates
+perfectly with improved work efficiency").
+
+This example
+1. generates an RMAT social graph and finds the hub,
+2. runs the full solver stack from the hub,
+3. shows that ordering buys little here compared to road networks
+   (the paper's §3.1: "a priority queue improves the work efficiency by
+   only 2x for the rmat22 graph"), and
+4. ranks users by distance-from-hub (a closeness sketch).
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    graph = repro.rmat(13, edge_factor=8, seed=11)
+    deg = graph.out_degree()
+    hub = int(np.argmax(deg))
+    print(f"graph: {graph.name}  |V|={graph.num_vertices}  |E|={graph.num_edges}")
+    print(f"hub: vertex {hub} with degree {int(deg[hub])} "
+          f"(median degree {np.median(deg):.0f})")
+    print()
+
+    results = {
+        name: repro.sssp(graph, hub, algorithm=name)
+        for name in ("adds", "nf", "gun-bf", "dijkstra")
+    }
+
+    dij_work = results["dijkstra"].work_count
+    print(f"{'solver':9s} {'time(us)':>10s} {'work':>7s} {'work vs optimal':>16s}")
+    for name, r in results.items():
+        print(f"{name:9s} {r.time_us:10.1f} {r.work_count:7d} {r.work_count / dij_work:15.2f}x")
+
+    # §3.1's point: on power-law graphs the ordered/unordered work gap is
+    # small (compare with a road network, where it's enormous)
+    bf_ratio = results["gun-bf"].work_count / dij_work
+    print(f"\nBellman-Ford does only {bf_ratio:.1f}x the optimal work here — "
+          "ordering matters far less than on high-diameter graphs.")
+
+    road = repro.grid_road(70, 50, seed=11)
+    road_bf = repro.sssp(road, 0, algorithm="gun-bf")
+    road_dij = repro.sssp(road, 0, algorithm="dijkstra")
+    print(f"(on a road grid of similar size the same ratio is "
+          f"{road_bf.work_count / road_dij.work_count:.1f}x)")
+
+    # closeness sketch: the k most/least reachable users
+    dist = results["adds"].dist
+    finite = np.flatnonzero(np.isfinite(dist))
+    order = finite[np.argsort(dist[finite])]
+    print("\nclosest users to the hub:", order[1:6].tolist())
+    print("most remote reachable users:", order[-5:].tolist())
+    reach = finite.size / graph.num_vertices
+    print(f"hub reaches {100 * reach:.0f}% of the network "
+          f"(paper's selection criterion requires >=75%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Result analysis: the distribution binning and rendering behind the
+paper's Tables 2–5 and Figures 8–15."""
+
+from repro.analysis.distributions import (
+    SPEEDUP_BINS,
+    WORK_BINS,
+    Distribution,
+    bin_ratios,
+    geometric_mean,
+)
+from repro.analysis.efficiency import EfficiencyPoint, classify_region, efficiency_points
+from repro.analysis.report import (
+    ascii_scatter,
+    ascii_series,
+    format_distribution_table,
+    format_table,
+)
+
+__all__ = [
+    "SPEEDUP_BINS",
+    "WORK_BINS",
+    "Distribution",
+    "bin_ratios",
+    "geometric_mean",
+    "EfficiencyPoint",
+    "efficiency_points",
+    "classify_region",
+    "format_table",
+    "format_distribution_table",
+    "ascii_scatter",
+    "ascii_series",
+]

@@ -1,0 +1,171 @@
+"""Shared result type and solver registry.
+
+Every solver — the six baselines and ADDS — returns an
+:class:`SSSPResult`, the analog of the artifact's ``*_result`` files
+("Each line has 3 fields: Graph_name run_time work_count") plus the
+distance vector used by ``verify_against_*`` and the parallelism timeline
+used by Figures 11–15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.gpu.timeline import Timeline
+
+__all__ = [
+    "SSSPResult",
+    "SOLVERS",
+    "register_solver",
+    "get_solver",
+    "init_distances",
+    "init_tree",
+    "resolve_sources",
+]
+
+
+@dataclass
+class SSSPResult:
+    """The outcome of one SSSP run.
+
+    Attributes
+    ----------
+    solver / graph_name / source:
+        Provenance of the run.
+    dist:
+        float64 distances from the source; ``inf`` for unreachable
+        vertices.  (Integer weights are exact in float64 far beyond any
+        graph size used here.)
+    work_count:
+        Total vertices *processed* (edge-expanded), the paper's work
+        metric — §3.1 defines work efficiency as its inverse.  Includes
+        redundant re-expansions; excludes items discarded by a stale
+        check or a dedup filter before expansion.
+    time_us:
+        Simulated wall time in microseconds.
+    timeline:
+        Parallelism (edge count in flight / available per superstep) over
+        time.
+    stats:
+        Solver-specific extras (supersteps, final Δ, pool high-water, …).
+    """
+
+    solver: str
+    graph_name: str
+    source: int
+    dist: np.ndarray
+    work_count: int
+    time_us: float
+    timeline: Timeline = field(repr=False, default_factory=Timeline)
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: shortest-path tree: predecessors[v] is the vertex preceding v on a
+    #: shortest path from the source (-1 for the source itself and for
+    #: unreachable vertices).  None if the solver did not track it.
+    predecessors: Optional[np.ndarray] = field(repr=False, default=None)
+
+    @property
+    def work_efficiency(self) -> float:
+        """The paper's §3.1 definition: inverse of vertices processed."""
+        return 1.0 / self.work_count if self.work_count else float("inf")
+
+    def reached(self) -> int:
+        """Number of vertices with a finite distance."""
+        return int(np.isfinite(self.dist).sum())
+
+    def result_line(self) -> str:
+        """The artifact's ``graph_name run_time work_count`` line
+        (run time in seconds, as in the artifact)."""
+        return f"{self.graph_name} {self.time_us / 1e6:.9f} {self.work_count}"
+
+    def path_to(self, target: int):
+        """The shortest path ``[source, ..., target]`` from the tree.
+
+        Requires the solver to have tracked predecessors; returns None for
+        unreachable targets.  The walk is bounded by the vertex count, so
+        a corrupted tree raises instead of looping.
+        """
+        if self.predecessors is None:
+            raise SolverError(
+                f"{self.solver} result has no predecessor tree; "
+                "run the solver with predecessors enabled"
+            )
+        if not 0 <= target < self.dist.size:
+            raise SolverError(f"target {target} out of range")
+        if not np.isfinite(self.dist[target]):
+            return None
+        path = [int(target)]
+        v = int(target)
+        for _ in range(self.dist.size):
+            # a root: the primary source, or (multi-source runs) any seed
+            if self.predecessors[v] < 0 and self.dist[v] == 0.0:
+                return path[::-1]
+            v = int(self.predecessors[v])
+            if v < 0:
+                break
+            path.append(v)
+        raise SolverError(
+            f"predecessor tree of {self.solver} on {self.graph_name} is "
+            f"inconsistent at vertex {target}"
+        )
+
+
+#: Registry mapping solver name -> solve(graph, source, **opts) callable.
+SOLVERS: Dict[str, Callable] = {}
+
+
+def register_solver(name: str) -> Callable:
+    """Class-of-2 decorator registering a solver under its paper name."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in SOLVERS:
+            raise SolverError(f"duplicate solver registration: {name}")
+        SOLVERS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_solver(name: str) -> Callable:
+    """Look up a registered solver (``adds``, ``nf``, ``gun-bf``, ...)."""
+    try:
+        return SOLVERS[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; available: {sorted(SOLVERS)}"
+        ) from None
+
+
+def resolve_sources(n: int, source: int, sources) -> np.ndarray:
+    """Normalize the (source, sources) solver arguments to an id array.
+
+    Every solver takes a primary ``source`` plus an optional ``sources``
+    sequence for multi-source SSSP (e.g. nearest-facility queries); when
+    ``sources`` is given it must contain the primary.
+    """
+    if sources is None:
+        sources = [source]
+    arr = np.unique(np.asarray(list(sources), dtype=np.int64))
+    if arr.size == 0:
+        raise SolverError("need at least one source")
+    if arr.min() < 0 or arr.max() >= n:
+        raise SolverError(f"source out of range for {n} vertices")
+    if source not in arr:
+        raise SolverError("primary source must be listed in sources")
+    return arr
+
+
+def init_distances(n: int, source: int, sources=None) -> np.ndarray:
+    """Fresh distance vector: ``inf`` everywhere except the source(s)."""
+    srcs = resolve_sources(n, source, sources)
+    dist = np.full(n, np.inf, dtype=np.float64)
+    dist[srcs] = 0.0
+    return dist
+
+
+def init_tree(n: int) -> np.ndarray:
+    """Fresh predecessor vector (-1 = no predecessor)."""
+    return np.full(n, -1, dtype=np.int64)

@@ -1,0 +1,39 @@
+"""The Near-Far Δ heuristic shared by every parallel solver.
+
+The paper (§4.3): "The value is chosen statically based on the average
+weight (W) and the average degree (D) of the graph: Δ = C × (W/D), where C
+is a constant for all graphs" — the formula from Davidson et al.'s
+Near-Far paper.  For fairness, the paper patches *all* parallel baselines
+to use it (Appendix A.2: a profile kernel samples the average weight), and
+ADDS uses it for its *initial* Δ before the dynamic controller takes over.
+
+Figure 4's point is that no single C suits all graphs; the default here is
+the warp width, the conventional choice, and the Figure 4 bench sweeps C
+over powers of two exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["NEAR_FAR_C", "davidson_delta"]
+
+#: The fixed constant C used for every graph (Davidson et al.).
+NEAR_FAR_C = 32.0
+
+
+def davidson_delta(graph: CSRGraph, constant: float = NEAR_FAR_C) -> float:
+    """Δ = C × (average weight / average degree), floored at 1.
+
+    The floor keeps integer-weight graphs from degenerating to Δ = 0
+    (which would put every vertex in its own bucket *and* clip everything,
+    the paper's Figure 6(b) pathology).
+    """
+    if constant <= 0:
+        raise SolverError("delta constant must be positive")
+    d = graph.average_degree()
+    w = graph.average_weight()
+    if d <= 0 or w <= 0:
+        return 1.0
+    return max(1.0, constant * w / d)

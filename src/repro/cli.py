@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror how the paper's artifact is driven:
+
+- ``generate`` — create a synthetic graph and write it as a binary GR file
+- ``info``     — Table-2-style statistics for a graph file
+- ``solve``    — run one solver on one graph (the ``ads_int``-style binary)
+- ``suite``    — run solvers over the built-in corpus (``run_all.sh``)
+- ``verify``   — compare two ``*_final_dist`` files (``verify.py``)
+- ``convert``  — convert between text DIMACS and binary GR
+
+All commands are plain functions over argparse namespaces; ``main(argv)``
+returns a process exit code, so everything is unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis import bin_ratios, format_distribution_table, format_table
+from repro.baselines.common import SOLVERS, get_solver
+from repro.calibration import sim_cost, sim_gpu
+from repro.errors import ReproError
+from repro.graphs import (
+    build_suite,
+    clique_chain,
+    fem_mesh,
+    grid_road,
+    random_geometric,
+    random_gnm,
+    read_gr,
+    rmat,
+    write_gr,
+)
+from repro.graphs.gr_format import read_dimacs, write_dimacs
+from repro.graphs.metrics import compute_stats
+from repro.gpu.specs import RTX_2080TI, RTX_3090
+from repro.harness import run_suite, write_result_files
+from repro.validation import verify_dist_files, write_dist_file
+
+__all__ = ["main", "build_parser"]
+
+_DEVICES = {"2080ti": RTX_2080TI, "3090": RTX_3090}
+
+
+def _device_args(ns):
+    base = _DEVICES[ns.device]
+    if ns.full_size:
+        return base, None  # stock CostModel via resolve_device
+    spec = sim_gpu(base)
+    return spec, sim_cost(spec)
+
+
+def _load_graph(path: str, float_weights: bool):
+    p = Path(path)
+    if p.suffix in (".dimacs", ".txt"):
+        return read_dimacs(p, dtype="float32" if float_weights else "int32")
+    return read_gr(p, float_weights=float_weights)
+
+
+# --------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------- #
+
+def cmd_generate(ns) -> int:
+    kind = ns.kind
+    seed = ns.seed
+    if kind == "road":
+        g = grid_road(ns.width, ns.height, max_weight=ns.max_weight, seed=seed)
+    elif kind == "rmat":
+        g = rmat(ns.scale, edge_factor=ns.edge_factor,
+                 max_weight=ns.max_weight, seed=seed)
+    elif kind == "gnm":
+        g = random_gnm(ns.n, ns.m, max_weight=ns.max_weight, seed=seed)
+    elif kind == "mesh":
+        g = fem_mesh(ns.n, band=ns.band, stride=ns.stride,
+                     max_weight=ns.max_weight, seed=seed)
+    elif kind == "geo":
+        g = random_geometric(ns.n, k=ns.k, seed=seed)
+    elif kind == "cliques":
+        g = clique_chain(ns.cliques, ns.clique_size,
+                         max_weight=ns.max_weight, seed=seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown kind {kind}")
+    write_gr(g, ns.output)
+    print(f"wrote {g.name}: |V|={g.num_vertices} |E|={g.num_edges} -> {ns.output}")
+    return 0
+
+
+def cmd_info(ns) -> int:
+    g = _load_graph(ns.graph, ns.float)
+    st = compute_stats(g, ns.source)
+    rows = [
+        ("vertices", st.num_vertices),
+        ("edges", st.num_edges),
+        ("avg degree", f"{st.avg_degree:.2f} (bin {st.degree_bin_label()})"),
+        ("max degree", st.max_degree),
+        ("avg weight", f"{st.avg_weight:.2f}"),
+        ("max weight", f"{st.max_weight:.0f}"),
+        ("pseudo-diameter", f"{st.diameter} (bin {st.diameter_bin_label()})"),
+        ("reachable from source", f"{100 * st.reachable:.1f}%"),
+        ("meets paper criterion", "yes" if st.reachable >= 0.75 else "NO"),
+    ]
+    print(format_table(["property", "value"], rows, title=g.name))
+    return 0
+
+
+def cmd_solve(ns) -> int:
+    g = _load_graph(ns.graph, ns.float)
+    solver = get_solver(ns.algorithm)
+    kwargs = {}
+    if ns.algorithm in ("adds", "nf", "gun-nf", "gun-bf", "nv"):
+        spec, cost = _device_args(ns)
+        kwargs["spec"] = spec
+        if cost is not None:
+            kwargs["cost"] = cost
+    if ns.delta is not None and ns.algorithm in ("adds", "nf", "gun-nf", "cpu-ds"):
+        kwargs["delta"] = ns.delta
+    if ns.sources:
+        kwargs["sources"] = [int(s) for s in ns.sources.split(",")]
+    result = solver(g, ns.source, **kwargs)
+    print(result.result_line())
+    print(f"reached {result.reached()}/{g.num_vertices} vertices; "
+          f"time {result.time_us:.1f} us; work {result.work_count}")
+    if ns.path_to is not None:
+        path = result.path_to(ns.path_to)
+        if path is None:
+            print(f"vertex {ns.path_to} unreachable")
+        else:
+            print(f"path to {ns.path_to} (dist {result.dist[ns.path_to]:g}): "
+                  + " -> ".join(map(str, path)))
+    if ns.dist_out:
+        write_dist_file(result, ns.dist_out)
+        print(f"distances written to {ns.dist_out}")
+    return 0
+
+
+def cmd_suite(ns) -> int:
+    solvers = tuple(ns.solvers.split(","))
+    suite = build_suite(
+        scale=ns.scale,
+        categories=ns.categories.split(",") if ns.categories else None,
+        max_graphs=ns.max_graphs,
+    )
+    spec, cost = _device_args(ns)
+    progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if ns.verbose else None
+    run = run_suite(solvers=solvers, suite=suite, spec=spec, cost=cost,
+                    progress=progress)
+    for failure in run.verification_failures:
+        print(f"VERIFY: {failure}", file=sys.stderr)
+    if len(solvers) > 1:
+        base = solvers[1]
+        d = bin_ratios(run.speedups(solvers[0], base), label=base.upper())
+        print(format_distribution_table(
+            [d],
+            title=f"speedup of {solvers[0]} over {base} "
+                  f"({len(run.records)} graphs, mean {d.arithmetic_mean:.2f}x, "
+                  f"geomean {d.geomean:.2f}x)",
+        ))
+    if ns.out:
+        paths = write_result_files(run, ns.out)
+        print(f"result files: {', '.join(str(p) for p in paths)}")
+    return 1 if run.verification_failures else 0
+
+
+def cmd_verify(ns) -> int:
+    mismatches = verify_dist_files(ns.file_a, ns.file_b, atol=ns.atol)
+    for m in mismatches[: ns.max_report]:
+        print(m)
+    if mismatches:
+        print(f"{len(mismatches)} mismatches")
+        return 1
+    print("OK: distances match")
+    return 0
+
+
+def cmd_convert(ns) -> int:
+    src, dst = Path(ns.input), Path(ns.output)
+    if src.suffix in (".dimacs", ".txt"):
+        g = read_dimacs(src, dtype="float32" if ns.float else "int32")
+    else:
+        g = read_gr(src, float_weights=ns.float)
+    if dst.suffix in (".dimacs", ".txt"):
+        write_dimacs(g, dst)
+    else:
+        write_gr(g, dst)
+    print(f"{src} -> {dst} ({g.num_vertices} vertices, {g.num_edges} edges)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+
+def _add_device_flags(p):
+    p.add_argument("--device", choices=sorted(_DEVICES), default="2080ti",
+                   help="GPU model for GPU solvers")
+    p.add_argument("--full-size", action="store_true",
+                   help="use the unscaled device (see repro.calibration)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="ADDS SSSP (PPoPP'21) reproduction toolkit",
+    )
+    ap.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic graph as .gr")
+    g.add_argument("kind", choices=["road", "rmat", "gnm", "mesh", "geo", "cliques"])
+    g.add_argument("output")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--max-weight", type=int, default=100)
+    g.add_argument("--width", type=int, default=64)
+    g.add_argument("--height", type=int, default=64)
+    g.add_argument("--scale", type=int, default=12)
+    g.add_argument("--edge-factor", type=int, default=8)
+    g.add_argument("--n", type=int, default=4000)
+    g.add_argument("--m", type=int, default=16000)
+    g.add_argument("--band", type=int, default=24)
+    g.add_argument("--stride", type=int, default=3)
+    g.add_argument("--k", type=int, default=6)
+    g.add_argument("--cliques", type=int, default=12)
+    g.add_argument("--clique-size", type=int, default=40)
+    g.set_defaults(fn=cmd_generate)
+
+    i = sub.add_parser("info", help="graph statistics (Table 2 style)")
+    i.add_argument("graph")
+    i.add_argument("--source", type=int, default=0)
+    i.add_argument("--float", action="store_true", help="float edge weights")
+    i.set_defaults(fn=cmd_info)
+
+    s = sub.add_parser("solve", help="run one solver on one graph")
+    s.add_argument("graph")
+    s.add_argument("--algorithm", "-a", choices=sorted(SOLVERS), default="adds")
+    s.add_argument("--source", type=int, default=0)
+    s.add_argument("--sources", help="comma-separated multi-source seeds")
+    s.add_argument("--float", action="store_true")
+    s.add_argument("--delta", type=float)
+    s.add_argument("--path-to", type=int, help="print the path to this vertex")
+    s.add_argument("--dist-out", help="write a *_final_dist file")
+    _add_device_flags(s)
+    s.set_defaults(fn=cmd_solve)
+
+    r = sub.add_parser("suite", help="run solvers over the corpus (run_all)")
+    r.add_argument("--solvers", default="adds,nf")
+    r.add_argument("--scale", type=float, default=1.0)
+    r.add_argument("--categories")
+    r.add_argument("--max-graphs", type=int)
+    r.add_argument("--out", help="directory for artifact-style result files")
+    r.add_argument("--verbose", "-v", action="store_true")
+    _add_device_flags(r)
+    r.set_defaults(fn=cmd_suite)
+
+    v = sub.add_parser("verify", help="compare two *_final_dist files")
+    v.add_argument("file_a")
+    v.add_argument("file_b")
+    v.add_argument("--atol", type=float, default=0.0)
+    v.add_argument("--max-report", type=int, default=20)
+    v.set_defaults(fn=cmd_verify)
+
+    c = sub.add_parser("convert", help="convert DIMACS <-> binary GR")
+    c.add_argument("input")
+    c.add_argument("output")
+    c.add_argument("--float", action="store_true")
+    c.set_defaults(fn=cmd_convert)
+
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    ns = build_parser().parse_args(argv)
+    try:
+        return ns.fn(ns)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

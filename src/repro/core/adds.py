@@ -1,0 +1,209 @@
+"""The ADDS solver: MTB + WTBs + bucket queue assembled on a Device.
+
+``solve_adds`` is the reproduction of the artifact's ``ads_int`` /
+``ads_float`` binaries: it builds the shared state (distance array, the
+32-bucket queue over a pre-allocated arena, per-WTB assignment flags),
+registers one manager and N worker thread-block programs on the simulated
+GPU, seeds the source vertex, runs the event loop to termination and
+returns the standard :class:`~repro.baselines.common.SSSPResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import (
+    SSSPResult,
+    init_distances,
+    init_tree,
+    register_solver,
+    resolve_sources,
+)
+from repro.baselines.heuristics import davidson_delta
+from repro.calibration import resolve_device
+from repro.core.bucket_queue import BucketQueue
+from repro.core.config import AddsConfig
+from repro.core.delta_controller import DeltaController
+from repro.core.mtb import mtb_program
+from repro.core.wtb import AF_IDLE, wtb_program
+from repro.errors import SolverError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import Device
+from repro.gpu.memory import GlobalPool
+from repro.gpu.specs import DeviceSpec
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["solve_adds", "AddsState"]
+
+
+@dataclass
+class AddsState:
+    """Shared state the MTB and WTB programs communicate through."""
+
+    graph: CSRGraph
+    device: Device
+    queue: BucketQueue
+    config: AddsConfig
+    controller: DeltaController
+    dist: np.ndarray
+    pred: np.ndarray
+    float_weights: bool
+    # per-WTB assignment flags (scratchpad on the real device)
+    af_state: np.ndarray
+    af_slot: np.ndarray
+    af_start: np.ndarray
+    af_end: np.ndarray
+    af_epoch: np.ndarray
+    af_edges: np.ndarray
+    # counters
+    work_count: int = 0
+    outstanding_edges: float = 0.0
+    head_switches: int = 0
+    delta_trace: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
+    """Size the arena: live slots are bounded by in-flight + unread
+    pushes, which for label-correcting SSSP stays within a small multiple
+    of the edge count even in pathological schedules.  An explicit
+    ``config.pool_blocks`` is honored exactly (and may overflow)."""
+    if config.pool_blocks is not None:
+        return config.pool_blocks
+    need = (4 * max(graph.num_edges, graph.num_vertices)) // config.slots_per_block
+    return max(512, need + 4 * config.n_buckets)
+
+
+@register_solver("adds")
+def solve_adds(
+    graph: CSRGraph,
+    source: int = 0,
+    *,
+    sources: Optional[Sequence[int]] = None,
+    spec: Optional[DeviceSpec] = None,
+    cost: Optional[CostModel] = None,
+    config: Optional[AddsConfig] = None,
+    delta: Optional[float] = None,
+) -> SSSPResult:
+    """Run ADDS on the (simulated) GPU.
+
+    Parameters
+    ----------
+    spec / cost:
+        Device and cost model; default to the calibrated scaled RTX 2080 Ti
+        (see :mod:`repro.calibration`).
+    config:
+        :class:`AddsConfig`; the Table 5 ablations are
+        ``config.static_delta_ablation()`` and
+        ``config.two_buckets_ablation()``.
+    delta:
+        Overrides the *initial* Δ (and the static Δ when
+        ``config.dynamic_delta`` is False) — the knob the Figure 7 sweep
+        turns.  Default: the Davidson heuristic, like the baselines.
+    """
+    spec, cost = resolve_device(spec, cost)
+    config = config or AddsConfig()
+    if graph.num_vertices == 0:
+        raise SolverError("cannot run SSSP on an empty graph")
+
+    initial_delta = (
+        delta
+        if delta is not None
+        else config.initial_delta
+        if config.initial_delta is not None
+        else davidson_delta(graph, config.delta_constant)
+    )
+    if initial_delta <= 0:
+        raise SolverError("initial delta must be positive")
+
+    device = Device(spec, cost)
+    n_wtbs = config.n_wtbs
+    if n_wtbs is None:
+        n_wtbs = max(1, spec.max_resident_blocks - 1)
+    if n_wtbs < 1:
+        raise SolverError("ADDS needs at least one WTB")
+    if n_wtbs + 1 > spec.max_resident_blocks:
+        raise SolverError(
+            f"{n_wtbs} WTBs + 1 MTB exceed the device's "
+            f"{spec.max_resident_blocks} resident blocks"
+        )
+
+    pool = GlobalPool(
+        _pool_blocks_for(graph, config), words_per_block=config.slots_per_block
+    )
+    queue = BucketQueue(device.mem, pool, config, initial_delta=initial_delta)
+    if config.delta_floor is not None:
+        delta_floor = config.delta_floor
+    else:
+        positive = graph.weights[graph.weights > 0]
+        delta_floor = float(positive.min()) / 4.0 if positive.size else 1e-9
+    controller = DeltaController(
+        config=config,
+        spec=spec,
+        avg_degree=graph.average_degree(),
+        delta=initial_delta,
+        delta_floor=delta_floor,
+    )
+
+    state = AddsState(
+        graph=graph,
+        device=device,
+        queue=queue,
+        config=config,
+        controller=controller,
+        dist=init_distances(graph.num_vertices, source, sources),
+        pred=init_tree(graph.num_vertices),
+        float_weights=not graph.is_integer_weighted,
+        af_state=np.full(n_wtbs, AF_IDLE, dtype=np.int64),
+        af_slot=np.zeros(n_wtbs, dtype=np.int64),
+        af_start=np.zeros(n_wtbs, dtype=np.int64),
+        af_end=np.zeros(n_wtbs, dtype=np.int64),
+        af_epoch=np.zeros(n_wtbs, dtype=np.int64),
+        af_edges=np.zeros(n_wtbs, dtype=np.float64),
+    )
+
+    # Seed: each source is one work item in the head bucket at distance 0.
+    seed = resolve_sources(graph.num_vertices, source, sources)
+    queue.storage[queue.head].ensure_capacity(
+        config.segment_size * (1 + seed.size // config.segment_size)
+    )
+    start = queue.reserve(queue.head, int(seed.size))
+    queue.publish(queue.head, start, seed, np.zeros(seed.size))
+
+    device.add_block("MTB", mtb_program(state))
+    for w in range(n_wtbs):
+        device.add_block(f"WTB{w}", wtb_program(state, w))
+    cycles = device.run()
+
+    return SSSPResult(
+        solver="adds",
+        graph_name=graph.name,
+        source=source,
+        dist=state.dist,
+        predecessors=state.pred,
+        work_count=state.work_count,
+        time_us=spec.cycles_to_us(cycles),
+        timeline=device.timeline,
+        stats={
+            "initial_delta": initial_delta,
+            "final_delta": queue.delta,
+            "delta_adjustments": controller.adjustments,
+            "delta_trace": list(state.delta_trace),
+            "rotations": queue.rotations,
+            "head_switches": state.head_switches,
+            "total_pushed": queue.total_pushed,
+            "total_completed": queue.total_completed,
+            "high_clips": queue.high_clips,
+            "low_clips": queue.low_clips,
+            "pool_high_water": pool.high_water,
+            "active_buckets_final": controller.active_buckets,
+            "n_wtbs": n_wtbs,
+            "atomics": device.mem.stats.atomics,
+            "fences": device.mem.stats.fences,
+            "translation_hits": queue.mtb_cache.hits,
+            "translation_misses": queue.mtb_cache.misses,
+        },
+    )

@@ -1,0 +1,312 @@
+"""§5.2/§5.4: the circular multi-bucket priority queue with SRMW access.
+
+Data structure recap from the paper:
+
+- an ordered circular queue of ``n_buckets`` (32) buckets; priorities
+  increase with distance; the *head* bucket holds the lowest-distance band
+  ``[base_dist, base_dist + Δ)``;
+- WTBs (the many writers) add work with an atomic bump of the bucket's
+  **resv_ptr**, write their items into the reserved slots, execute a
+  memory fence, and atomically increment the **WCC** of each touched
+  N-slot segment;
+- the MTB (the single reader) derives the *readable range* from segment
+  WCCs: a segment with ``WCC == N`` is fully written; for a partial
+  segment, ``segment_base + WCC == resv_ptr`` (checked after a fence)
+  proves everything up to ``resv_ptr`` is written; otherwise nothing past
+  the previous segment boundary may be trusted (§5.2 verbatim);
+- a per-bucket **CWC** counts completed work items; the head bucket may
+  only rotate once ``CWC == resv_ptr`` *and* everything was read —
+  rotating earlier causes the "continuous cramming of work into ever
+  fewer buckets" failure (§5.4), reproducible here via
+  ``AddsConfig.unsafe_rotation``;
+- distances outside the 32-band window are **clipped** into the tail (or
+  head) bucket, losing ordering but never correctness (§5.5 / Figure 6b).
+
+Distance payloads are float64 bit-cast into the int64 slot lane, so the
+same storage serves int- and float-weighted graphs (like the artifact's
+single GR payload word).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.block_alloc import BucketStorage, TranslationCache
+from repro.core.config import AddsConfig
+from repro.errors import ProtocolError
+from repro.gpu.memory import GlobalPool, SimMemory
+
+__all__ = ["BucketQueue", "encode_dist", "decode_dist"]
+
+
+def encode_dist(d: np.ndarray) -> np.ndarray:
+    """float64 distances → int64 bit patterns (order-preserving for d ≥ 0)."""
+    return np.ascontiguousarray(np.asarray(d, dtype=np.float64)).view(np.int64)
+
+
+def decode_dist(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`encode_dist`."""
+    return np.ascontiguousarray(np.asarray(bits, dtype=np.int64)).view(np.float64)
+
+
+class BucketQueue:
+    """The ADDS work queue: 32 circular buckets plus their metadata."""
+
+    def __init__(
+        self,
+        mem: SimMemory,
+        pool: GlobalPool,
+        config: AddsConfig,
+        *,
+        initial_delta: float,
+    ) -> None:
+        if initial_delta <= 0:
+            raise ProtocolError("initial delta must be positive")
+        self.mem = mem
+        self.pool = pool
+        self.config = config
+        nb = config.n_buckets
+        self.n_buckets = nb
+        self.segment_size = config.segment_size
+
+        # shared metadata arrays (global memory on the real device)
+        self.resv = np.zeros(nb, dtype=np.int64)
+        self.read = np.zeros(nb, dtype=np.int64)
+        self.cwc = np.zeros(nb, dtype=np.int64)
+        # Bucket reuse epoch: the simulator's stand-in for the monotonic
+        # 32-bit circular index.  A completion that arrives after its
+        # bucket rotated (possible only under unsafe_rotation) is dropped
+        # from the recycled bucket's CWC but still counts globally.
+        self.epoch = np.zeros(nb, dtype=np.int64)
+        self.wcc: List[Dict[int, int]] = [dict() for _ in range(nb)]
+        self.storage = [
+            BucketStorage(pool, config.slots_per_block, name=f"b{i}")
+            for i in range(nb)
+        ]
+        self.mtb_cache = TranslationCache()
+
+        # priority window state (owned by the MTB)
+        self.head = 0
+        self.base_dist = 0.0
+        self.delta = float(initial_delta)
+        self.rotations = 0
+
+        # counters feeding termination and the Δ controller
+        self.total_pushed = 0
+        self.total_completed = 0
+        self.pushes_since_check = 0
+        self.tail_pushes_since_check = 0
+        self.low_clips = 0
+        self.high_clips = 0
+
+    # ------------------------------------------------------------------ #
+    # priority mapping
+    # ------------------------------------------------------------------ #
+
+    def slot_of(self, rel: int) -> int:
+        """Physical bucket index of the ``rel``-th band from the head."""
+        return (self.head + rel) % self.n_buckets
+
+    def rel_of(self, slot: int) -> int:
+        return (slot - self.head) % self.n_buckets
+
+    def rel_bands_for(self, dists: np.ndarray) -> np.ndarray:
+        """Band index (0 = head) for each distance, with clipping.
+
+        Below-window distances clip to the head band (work spawned for an
+        already-rotated band, §5.4); beyond-window distances clip to the
+        tail band (Figure 6(b)).  Clip counts feed the Δ controller.
+        """
+        rel = np.floor_divide(dists - self.base_dist, self.delta).astype(np.int64)
+        low = rel < 0
+        high = rel > self.n_buckets - 1
+        self.low_clips += int(low.sum())
+        self.high_clips += int(high.sum())
+        return np.clip(rel, 0, self.n_buckets - 1)
+
+    # ------------------------------------------------------------------ #
+    # writer (WTB) side
+    # ------------------------------------------------------------------ #
+
+    def reserve(self, slot: int, k: int) -> int:
+        """Atomically reserve ``k`` slots; returns the starting index."""
+        if k <= 0:
+            raise ProtocolError("reserve of non-positive count")
+        start = self.mem.atomic_add(self.resv, slot, k)
+        self.total_pushed += k
+        self.pushes_since_check += k
+        if self.rel_of(slot) == self.n_buckets - 1:
+            self.tail_pushes_since_check += k
+        return int(start)
+
+    def capacity(self, slot: int) -> int:
+        """Allocated capacity (virtual slots) of a bucket."""
+        return self.storage[slot].capacity
+
+    def publish(self, slot: int, start: int, vertices: np.ndarray, dists: np.ndarray) -> int:
+        """Write reserved slots, fence, bump segment WCCs (§5.2 writer path).
+
+        Returns the number of segments touched (for cost accounting).
+        """
+        k = int(vertices.size)
+        if k == 0:
+            return 0
+        self.storage[slot].write_range(start, vertices, encode_dist(dists))
+        self.mem.fence()  # items fully written before WCC increments
+        first = start // self.segment_size
+        last = (start + k - 1) // self.segment_size
+        wcc = self.wcc[slot]
+        for seg in range(first, last + 1):
+            seg_lo = max(start, seg * self.segment_size)
+            seg_hi = min(start + k, (seg + 1) * self.segment_size)
+            wcc[seg] = wcc.get(seg, 0) + (seg_hi - seg_lo)
+            if wcc[seg] > self.segment_size:
+                raise ProtocolError(
+                    f"bucket {slot}: segment {seg} WCC {wcc[seg]} exceeds N"
+                )
+            self.mem.stats.atomics += 1
+        return last - first + 1
+
+    def complete(self, slot: int, k: int, epoch: int) -> None:
+        """WTB finished ``k`` assigned items: bump the bucket's CWC.
+
+        ``epoch`` is the bucket epoch captured at assignment time; a
+        mismatch (bucket recycled meanwhile — unsafe rotation only) drops
+        the per-bucket update but keeps the global completion count sound.
+        """
+        if k < 0:
+            raise ProtocolError("negative completion count")
+        self.mem.fence()  # spawned pushes visible before the CWC update
+        if int(self.epoch[slot]) == epoch:
+            self.mem.atomic_add(self.cwc, slot, k)
+        self.total_completed += k
+
+    # ------------------------------------------------------------------ #
+    # reader (MTB) side
+    # ------------------------------------------------------------------ #
+
+    def readable_upper(self, slot: int) -> Tuple[int, int]:
+        """§5.2's readable-range computation.
+
+        Returns ``(upper, segments_scanned)``: all slots in
+        ``[read_ptr, upper)`` are guaranteed fully written.
+        """
+        r = int(self.read[slot])
+        self.mem.fence()
+        resv = int(self.resv[slot])
+        upper = r
+        seg = r // self.segment_size
+        scanned = 0
+        wcc = self.wcc[slot]
+        while upper < resv:
+            scanned += 1
+            seg_start = seg * self.segment_size
+            count = wcc.get(seg, 0)
+            if count == self.segment_size:
+                # fully written segment: every slot is safe
+                upper = seg_start + self.segment_size
+                seg += 1
+                continue
+            # partial segment: trust it only if WCC accounts for every
+            # reservation made in it (re-read resv after a fence so the
+            # comparison is not against a stale pointer)
+            self.mem.fence()
+            resv = int(self.resv[slot])
+            if seg_start + count == resv and resv > upper:
+                upper = resv
+            break
+        if upper > resv:
+            raise ProtocolError(
+                f"bucket {slot}: readable upper {upper} beyond resv {resv}"
+            )
+        return upper, scanned
+
+    def advance_read(self, slot: int, upto: int) -> None:
+        if upto < self.read[slot]:
+            raise ProtocolError("read_ptr may not move backwards")
+        self.read[slot] = upto
+
+    def read_items(self, slot: int, start: int, end: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch items (vertices, distances) from a readable range."""
+        verts, bits = self.storage[slot].read_range(start, end)
+        spb = self.storage[slot].slots_per_block
+        for vb in range(start // spb, max(start, end - 1) // spb + 1):
+            self.mtb_cache.access(vb)
+        return verts, decode_dist(bits)
+
+    def bucket_drained(self, slot: int) -> bool:
+        """Everything reserved has been read *and* completed."""
+        resv = int(self.resv[slot])
+        if int(self.read[slot]) != resv:
+            return False
+        self.mem.fence()
+        return int(self.cwc[slot]) == int(self.resv[slot])
+
+    def bucket_read_out(self, slot: int) -> bool:
+        """Everything reserved has been read (completion not required)."""
+        return int(self.read[slot]) == int(self.resv[slot])
+
+    def rotate(self) -> None:
+        """Recycle the head bucket as the new farthest band (§5.4)."""
+        slot = self.head
+        if not self.bucket_read_out(slot):
+            raise ProtocolError("rotation with unread work in the head bucket")
+        if not self.config.unsafe_rotation and int(self.cwc[slot]) != int(self.resv[slot]):
+            raise ProtocolError(
+                "rotation before the head bucket's CWC matched resv_ptr"
+            )
+        # CWC may lag resv under unsafe rotation; the epoch bump reroutes
+        # those late completions to the global counter only.
+        self.storage[slot].reset()
+        self.wcc[slot].clear()
+        self.resv[slot] = 0
+        self.read[slot] = 0
+        self.cwc[slot] = 0
+        self.epoch[slot] += 1
+        self.head = (self.head + 1) % self.n_buckets
+        self.base_dist += self.delta
+        self.rotations += 1
+
+    def retire_read_blocks(self, slot: int) -> int:
+        """Free whole blocks below both read_ptr and CWC (FIFO shrink)."""
+        safe = min(int(self.read[slot]), int(self.cwc[slot]))
+        return self.storage[slot].retire_below(safe)
+
+    # ------------------------------------------------------------------ #
+    # controller hooks
+    # ------------------------------------------------------------------ #
+
+    def set_delta(self, new_delta: float) -> None:
+        if new_delta <= 0:
+            raise ProtocolError("delta must stay positive")
+        self.delta = float(new_delta)
+
+    def reset_push_window(self) -> None:
+        self.pushes_since_check = 0
+        self.tail_pushes_since_check = 0
+
+    def tail_push_fraction(self) -> float:
+        if self.pushes_since_check == 0:
+            return 0.0
+        return self.tail_pushes_since_check / self.pushes_since_check
+
+    def outstanding(self) -> int:
+        """Items pushed but not yet completed (device-wide)."""
+        return self.total_pushed - self.total_completed
+
+    def snapshot(self) -> dict:
+        """Debug/report view of the queue metadata."""
+        return {
+            "head": self.head,
+            "base_dist": self.base_dist,
+            "delta": self.delta,
+            "rotations": self.rotations,
+            "resv": self.resv.copy(),
+            "read": self.read.copy(),
+            "cwc": self.cwc.copy(),
+            "total_pushed": self.total_pushed,
+            "total_completed": self.total_completed,
+            "pool_high_water": self.pool.high_water,
+        }

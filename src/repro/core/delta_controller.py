@@ -1,0 +1,174 @@
+"""§5.5: run-time Δ selection.
+
+The controller is a feedback loop the MTB consults on every management
+pass:
+
+- **utilization band** — the MTB monitors "the number of work items that
+  it currently has assigned at any time", here measured in in-flight
+  *edges* (items × average degree, which is what occupies hardware
+  threads), and keeps it between ``util_low`` and ``util_high`` times the
+  device's thread count.  The degree term is the paper's "correlating the
+  number of threads with the average degree of the input graph": for
+  low-degree graphs more items are needed to cover the same thread count
+  and the band widens accordingly.
+- **clip guard** — below a lower bound, shrinking Δ only *clips* vertices
+  into the tail bucket (Figure 6(b)); the empirical signal is "the tail
+  bucket contains at least 65 % of the total number of assigned work
+  items", in which case Δ must grow regardless of utilization.
+- **settling** — Δ changes are spaced by a fixed number of *head-bucket
+  switches* (rotations), which naturally scales the wait with Δ itself
+  ("the number of work items in each bucket is proportional to the Δ
+  value, [so] the settling time scales naturally").
+- **fine-grained mechanism** — between Δ changes, the number of
+  high-priority buckets the MTB assigns from is adjusted immediately:
+  one more bucket when starved, one fewer when oversubscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.config import AddsConfig
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["DeltaController"]
+
+
+@dataclass
+class DeltaController:
+    """The MTB's Δ/active-bucket policy (pure logic, no device access)."""
+
+    config: AddsConfig
+    spec: DeviceSpec
+    avg_degree: float
+    delta: float
+    #: hard lower bound on Δ (see AddsConfig.delta_floor)
+    delta_floor: float = 1e-9
+    active_buckets: int = 1
+    rotations_at_last_change: int = 0
+    passes_since_change: int = 0
+    passes_total: int = 0
+    util_ewma: float = 0.0
+    adjustments: int = 0
+    #: utilization recorded when the last *growth* was applied, or None.
+    #: Used to detect a growth plateau: if doubling Δ did not materially
+    #: raise utilization, the graph simply has no more parallelism to
+    #: expose and further growth would only degenerate toward
+    #: Bellman-Ford — the failure §6.4 credits ADDS with avoiding
+    #: ("not letting the behavior degenerate into a Bellman-Ford
+    #: solution").
+    util_at_growth: float = None
+    growth_frozen: bool = False
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.active_buckets = max(
+            self.config.min_active_buckets,
+            min(self.config.max_active_buckets, self.active_buckets),
+        )
+        self.history.append((0, self.delta))
+
+    def observe(self, inflight_edges: float) -> None:
+        """One MTB pass worth of utilization signal (EWMA-smoothed)."""
+        a = self.config.ewma_alpha
+        self.util_ewma = a * float(inflight_edges) + (1 - a) * self.util_ewma
+        self.passes_since_change += 1
+        self.passes_total += 1
+
+    # -- utilization targets ------------------------------------------------ #
+
+    def target_edges(self) -> float:
+        """Edges in flight that mean 'hardware fully utilized'.
+
+        One edge relaxation occupies roughly one thread, but low-degree
+        graphs scatter their accesses (divergence) and need proportionally
+        fewer in-flight edges to exhaust the memory system — the same
+        degree correction the cost model's traffic term applies.
+        """
+        d = max(self.avg_degree, 1.0)
+        divergence = 1.0 + 8.0 / d  # mirrors CostModel.coalesce_penalty
+        return self.spec.total_threads / divergence
+
+    def utilization(self, inflight_edges: float) -> float:
+        return inflight_edges / max(self.target_edges(), 1.0)
+
+    # -- per-pass decisions ---------------------------------------------------- #
+
+    def adjust_active_buckets(self) -> int:
+        """High-frequency knob: widen/narrow the assignable bucket window."""
+        u = self.utilization(self.util_ewma)
+        if u < self.config.util_low and self.active_buckets < self.config.max_active_buckets:
+            self.active_buckets += 1
+        elif u > self.config.util_high and self.active_buckets > self.config.min_active_buckets:
+            self.active_buckets -= 1
+        return self.active_buckets
+
+    def settled(self, rotations: int) -> bool:
+        """Has the system had time to absorb the last Δ change?
+
+        The paper's criterion is head-bucket switches; the pass-count
+        fallback covers executions that barely rotate (config docstring).
+        A warm-up window suppresses reactions to the ramp-up transient.
+        """
+        if self.passes_total < self.config.warmup_passes:
+            return False
+        return (
+            rotations - self.rotations_at_last_change >= self.config.settle_switches
+            or self.passes_since_change >= self.config.settle_passes
+        )
+
+    def maybe_adjust_delta(self, tail_fraction: float, rotations: int) -> float:
+        """Low-frequency knob: grow/shrink Δ once the system has settled.
+
+        Returns the (possibly updated) Δ; the caller applies it to the
+        queue and resets the push window on change.
+        """
+        if not self.config.dynamic_delta:
+            return self.delta
+        if not self.settled(rotations):
+            return self.delta
+
+        g = self.config.delta_growth
+        u = self.utilization(self.util_ewma)
+        if tail_fraction >= self.config.clip_fraction:
+            # clip guard: Δ is below the clipping bound, grow regardless
+            self.growth_frozen = False
+            self._grow(rotations, g)
+        elif u < self.config.util_low:
+            # starved even with extra buckets open: coarsen for parallelism
+            if self.util_at_growth is not None and not self.growth_frozen:
+                # the previous growth has settled; did it help?
+                if u <= self.utilization(self.util_at_growth) * 1.25:
+                    # No: this graph has no more parallelism to expose.
+                    # Revert the wasted growth (it only relaxed ordering)
+                    # and freeze — the paper's "avoid overshooting the
+                    # optimum setting".
+                    self.growth_frozen = True
+                    self.util_at_growth = None
+                    self._change(rotations, self.delta / g)
+            if not self.growth_frozen:
+                self._grow(rotations, g)
+        elif u > self.config.util_high:
+            # saturated: refine for work efficiency (never below the clip
+            # bound; the guard above pushes back if this overshoots).  The
+            # active-bucket knob keeps damping short fluctuations on its
+            # own; persistent saturation through a whole settling period
+            # means Δ itself is too coarse.
+            self.growth_frozen = False
+            self.util_at_growth = None
+            self._change(rotations, self.delta / g)
+        return self.delta
+
+    def _grow(self, rotations: int, g: float) -> None:
+        self.util_at_growth = self.util_ewma
+        self._change(rotations, self.delta * g)
+
+    def _change(self, rotations: int, new_delta: float) -> None:
+        new_delta = max(new_delta, self.delta_floor)
+        if new_delta != self.delta:
+            self.delta = new_delta
+            self.rotations_at_last_change = rotations
+            self.passes_since_change = 0
+            self.adjustments += 1
+            self.history.append((rotations, new_delta))

@@ -1,0 +1,161 @@
+"""§5.1/§5.4: the manager thread block (MTB) program.
+
+Every management pass the MTB:
+
+1. **allocates** — grows each bucket's block table ahead of its
+   ``resv_ptr`` and retires fully-consumed blocks (§5.3: "All memory
+   management is performed by the MTB");
+2. **scans and assigns** — computes the readable range of each bucket in
+   the active window (head first, §5.4: "higher priority buckets are
+   considered first and lower priority buckets ... only if there are idle
+   WTBs"), carves it into chunks and publishes them to idle WTBs through
+   their assignment flags;
+3. **rotates** — recycles the head bucket when all of its work has been
+   read *and* completed (the CWC guard; skipping it is the paper's
+   cramming failure, available as ``unsafe_rotation`` for the tests);
+4. **tunes** — feeds the Δ controller the current in-flight work and the
+   clip-guard signal, applying active-bucket and Δ adjustments;
+5. **terminates** — after ``termination_sweeps`` consecutive passes in
+   which the queue is empty, nothing is in flight and every WTB is idle,
+   it broadcasts STOP to all AFs and exits (§5.4: two sweeps "to ensure
+   that all work in progress has been completed").
+
+Each pass is charged via :meth:`CostModel.mtb_pass_cost`, proportional to
+segments scanned and assignments made — the delegation economics of the
+paper (warp-wide metadata reads amortized over many work items).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wtb import AF_ASSIGNED, AF_IDLE, AF_STOP
+
+__all__ = ["mtb_program"]
+
+
+def mtb_program(state):
+    """Generator program for the manager thread block."""
+    dev = state.device
+    cost = dev.cost
+    q = state.queue
+    cfg = state.config
+    ctrl = state.controller
+    af_state = state.af_state
+    n_wtbs = af_state.size
+    avg_deg = max(state.graph.average_degree(), 1.0)
+    target_edges = (
+        cfg.target_chunk_edges
+        if cfg.target_chunk_edges is not None
+        else dev.spec.threads_per_block
+    )
+    chunk_items = int(min(cfg.max_chunk, max(4, round(target_edges / avg_deg))))
+    lookahead = 2 * cfg.max_chunk
+
+    empty_sweeps = 0
+    last_integral = 0.0
+    last_now = 0.0
+    while True:
+        segments_scanned = 0
+        assignments = 0
+
+        # ---- 1. memory management ------------------------------------------
+        for slot in range(q.n_buckets):
+            resv = int(q.resv[slot])
+            if resv or slot == q.head:
+                q.storage[slot].ensure_capacity(resv + lookahead)
+            q.retire_read_blocks(slot)
+
+        # ---- 2. scan + assign ------------------------------------------------
+        idle = [w for w in range(n_wtbs) if af_state[w] == AF_IDLE]
+        for rel in range(ctrl.active_buckets):
+            if not idle:
+                break
+            slot = q.slot_of(rel)
+            upper, scanned = q.readable_upper(slot)
+            segments_scanned += scanned
+            while idle and int(q.read[slot]) < upper:
+                start = int(q.read[slot])
+                end = min(start + chunk_items, upper)
+                q.advance_read(slot, end)
+                wid = idle.pop()
+                state.af_slot[wid] = slot
+                state.af_start[wid] = start
+                state.af_end[wid] = end
+                state.af_epoch[wid] = int(q.epoch[slot])
+                est_edges = (end - start) * avg_deg
+                state.af_edges[wid] = est_edges
+                state.outstanding_edges += est_edges
+                af_state[wid] = AF_ASSIGNED  # the worker's AF poll sees this
+                assignments += 1
+
+        # ---- 3. rotation ---------------------------------------------------------
+        rotated = 0
+        while rotated < q.n_buckets - 1:
+            head = q.head
+            if not q.bucket_read_out(head):
+                break
+            if cfg.unsafe_rotation:
+                # Even the broken variant cannot recycle storage a WTB is
+                # still reading from — the paper's failure mode is spawned
+                # work landing in a rotated band, not a use-after-free.
+                pinned = any(
+                    af_state[w] == AF_ASSIGNED and int(state.af_slot[w]) == head
+                    for w in range(n_wtbs)
+                )
+                if pinned:
+                    break
+            elif not q.bucket_drained(head):
+                break
+            pending_elsewhere = any(
+                int(q.resv[s]) > int(q.read[s])
+                for s in range(q.n_buckets)
+                if s != head
+            )
+            in_flight = state.outstanding_edges > 0 or q.outstanding() > 0
+            if not (pending_elsewhere or in_flight):
+                break  # nothing left anywhere: rotating forever is pointless
+            q.rotate()
+            q.reset_push_window()  # clip guard measures the freshest band
+            state.head_switches += 1
+            rotated += 1
+
+        # ---- 4. Δ controller -----------------------------------------------------
+        # The utilization signal is the exact time-average of edges in
+        # flight since the previous pass (point samples would alias the
+        # burst-idle pattern of small batches).
+        integral = dev.relax_edge_integral()
+        span = dev.now - last_now
+        window_avg = (integral - last_integral) / span if span > 0 else 0.0
+        last_integral, last_now = integral, dev.now
+        ctrl.observe(window_avg)
+        ctrl.adjust_active_buckets()
+        if cfg.dynamic_delta:
+            old = ctrl.delta
+            new = ctrl.maybe_adjust_delta(q.tail_push_fraction(), q.rotations)
+            if new != old:
+                q.set_delta(new)
+                q.reset_push_window()
+                state.delta_trace.append((dev.now_us, new))
+
+        # ---- 5. termination ---------------------------------------------------------
+        queue_empty = (
+            assignments == 0
+            and all(int(q.resv[s]) == int(q.read[s]) for s in range(q.n_buckets))
+            and q.outstanding() == 0
+            and all(af_state[w] == AF_IDLE for w in range(n_wtbs))
+        )
+        if queue_empty:
+            empty_sweeps += 1
+            if empty_sweeps >= cfg.termination_sweeps:
+                for w in range(n_wtbs):
+                    af_state[w] = AF_STOP
+                return
+        else:
+            empty_sweeps = 0
+
+        # ---- 6. charge the pass ------------------------------------------------------
+        if assignments or rotated:
+            yield ("busy", cost.mtb_pass_cost(segments_scanned, assignments))
+        else:
+            yield ("busy", max(cfg.mtb_idle_cycles, cost.mtb_pass_cost(segments_scanned, 0)))

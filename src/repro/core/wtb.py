@@ -1,0 +1,117 @@
+"""§5.1: the worker thread block (WTB) program.
+
+Each WTB loops forever:
+
+1. spin on its **assignment flag** (AF) in scratchpad — "Each idle WTB
+   polls its respective AF ... and thus receives work from the MTB
+   without contention with other WTBs";
+2. on assignment ``(bucket, start, end)``: read the work items, drop
+   stale ones (their vertex has improved since the push), expand the rest
+   and atomically relax their out-edges on the shared distance array;
+3. push every *winning* relaxation as a new work item: compute its band
+   under the current Δ, atomically reserve slots (``resv_ptr``), write,
+   fence, bump the segment WCCs — the multi-writer half of §5.2.  If the
+   reservation outruns the allocated blocks the WTB waits for the MTB's
+   allocator to catch up (§5.3: all memory management is the MTB's job);
+4. report completion: bump the source bucket's CWC by the full assignment
+   size (stale items included — they were assigned work), then clear the
+   AF.
+
+The relaxation itself is one vectorized batch priced by the cost model;
+its memory effects land when the batch *finishes*, so concurrent WTBs
+genuinely race on the distance array and redundant work arises exactly as
+it does on hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import expand_frontier
+
+__all__ = ["wtb_program", "AF_IDLE", "AF_ASSIGNED", "AF_STOP"]
+
+AF_IDLE = 0
+AF_ASSIGNED = 1
+AF_STOP = 2
+
+
+def wtb_program(state, wid: int):
+    """Generator program for worker ``wid`` over the shared solver state."""
+    dev = state.device
+    cost = dev.cost
+    q = state.queue
+    graph = state.graph
+    af_state = state.af_state
+    avg_deg = max(graph.average_degree(), 1.0)
+
+    while True:
+        yield ("wait", lambda: af_state[wid] != AF_IDLE)
+        if af_state[wid] == AF_STOP:
+            return
+
+        slot = int(state.af_slot[wid])
+        start = int(state.af_start[wid])
+        end = int(state.af_end[wid])
+        epoch = int(state.af_epoch[wid])
+        k = end - start
+
+        verts, pushed = q.read_items(slot, start, end)
+        # stale check: the pushed distance is current iff the vertex has
+        # not improved since (distances only decrease)
+        cur = state.dist[verts]
+        live = pushed <= cur
+        live_verts = verts[live]
+
+        srcs, dsts, ws = expand_frontier(graph, live_verts)
+        edges = int(dsts.size)
+        latency = cost.wtb_batch_latency(edges, float_weights=state.float_weights)
+        nbytes = cost.wtb_batch_bytes(edges, avg_deg)
+        # Distance updates commit as the batch runs (hardware atomics are
+        # visible to concurrently running blocks), so they are applied at
+        # dispatch; the *work items* this batch spawns only become visible
+        # when the push instructions + WCC increments execute, i.e. after
+        # the batch's duration below.
+        state.work_count += int(live_verts.size)
+        new_v = np.empty(0, dtype=np.int64)
+        if edges:
+            cand = state.dist[srcs] + ws.astype(np.float64)
+            winners = dev.mem.atomic_min_batch(
+                state.dist,
+                dsts.astype(np.int64),
+                cand,
+                payload=srcs,
+                payload_out=state.pred,
+            )
+            new_v = dsts[winners].astype(np.int64)
+
+        yield ("relax", latency, edges, nbytes)
+
+        # ---- publication at batch completion ---------------------------------
+        if edges:
+            if new_v.size:
+                new_d = state.dist[new_v]
+                rel = q.rel_bands_for(new_d)
+                slots = (q.head + rel) % q.n_buckets
+                push_cost = 0.0
+                for s in np.unique(slots):
+                    sel = slots == s
+                    vs = new_v[sel]
+                    ds = new_d[sel]
+                    kk = int(vs.size)
+                    idx0 = q.reserve(int(s), kk)
+                    if q.capacity(int(s)) < idx0 + kk:
+                        # block not allocated yet: wait for the MTB
+                        # (bind loop variables via defaults)
+                        yield (
+                            "wait",
+                            lambda s=int(s), need=idx0 + kk: q.capacity(s) >= need,
+                        )
+                    segs = q.publish(int(s), idx0, vs, ds)
+                    push_cost += cost.atomic_cycles * (1 + segs) + 4.0 * kk
+                yield ("busy", push_cost)
+
+        q.complete(slot, k, epoch)
+        state.outstanding_edges -= float(state.af_edges[wid])
+        state.af_edges[wid] = 0.0
+        af_state[wid] = AF_IDLE

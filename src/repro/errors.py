@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file (GR / DIMACS) is malformed or uses an unsupported variant."""
+
+
+class GraphConstructionError(ReproError):
+    """Inconsistent inputs when building a :class:`~repro.graphs.csr.CSRGraph`."""
+
+
+class DeviceError(ReproError):
+    """The simulated device was misused (e.g. program yielded a bad event)."""
+
+
+class ProtocolError(ReproError):
+    """An invariant of the SRMW bucket-queue protocol was violated.
+
+    These indicate a bug in the scheduler implementation (or a deliberately
+    corrupted state in a test), never a user error.
+    """
+
+
+class AllocationError(ReproError):
+    """The FIFO block allocator ran out of memory or was used out of order."""
+
+
+class SolverError(ReproError):
+    """An SSSP solver was configured inconsistently or failed to converge."""
+
+
+class ValidationError(ReproError):
+    """Two solver results disagree (the ``verify_against`` analog)."""

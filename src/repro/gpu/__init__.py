@@ -1,0 +1,41 @@
+"""Discrete-event GPU execution simulator.
+
+The paper runs on an RTX 2080 Ti and an RTX 3090; this package is the
+substitute substrate (see DESIGN.md §1).  It provides:
+
+- :mod:`~repro.gpu.specs` — device descriptions taken from the paper's
+  Table 1 (plus the Core i9-7900X used by the CPU baselines);
+- :mod:`~repro.gpu.costmodel` — the cycle cost model: kernel-launch
+  overhead, memory/atomic costs, bandwidth-limited edge-relaxation
+  throughput with a degree-dependent divergence factor;
+- :mod:`~repro.gpu.device` — the event engine that interleaves
+  *thread-block programs* (Python generators yielding cost events) and
+  advances a cycle-accurate-ish wall clock;
+- :mod:`~repro.gpu.memory` — simulated global/scratchpad memory with
+  atomic operations, fences and traffic counters;
+- :mod:`~repro.gpu.timeline` — parallelism-over-time traces (the data
+  behind the paper's Figures 11–15);
+- :mod:`~repro.gpu.kernels` — the BSP launch helper used by the
+  double-buffered baselines (Near-Far, Bellman-Ford).
+"""
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import Device, BlockContext
+from repro.gpu.kernels import BspMachine
+from repro.gpu.memory import SimMemory
+from repro.gpu.specs import CPU_I9_7900X, RTX_2080TI, RTX_3090, CpuSpec, DeviceSpec
+from repro.gpu.timeline import Timeline
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "RTX_2080TI",
+    "RTX_3090",
+    "CPU_I9_7900X",
+    "CostModel",
+    "Device",
+    "BlockContext",
+    "BspMachine",
+    "SimMemory",
+    "Timeline",
+]

@@ -1,0 +1,281 @@
+"""The discrete-event engine that interleaves thread-block programs.
+
+A *program* is a Python generator (one per simulated thread block) that
+yields cost events and communicates with other programs through shared
+state (NumPy arrays + :class:`~repro.gpu.memory.SimMemory` atomics).  The
+engine advances a cycle clock and interleaves programs by event completion
+time — so the ADDS manager/worker protocol from the paper executes with
+real concurrency: a WTB's bucket pushes genuinely race with the MTB's
+segment scans, at event granularity.
+
+Events a program may yield
+--------------------------
+
+``("busy", cycles)``
+    The block computes/accesses memory for ``cycles`` cycles.
+
+``("relax", cycles, edges)``
+    Like ``busy``, but the engine tracks ``edges`` as in-flight work for
+    the parallelism timeline (Figures 11–15).
+
+``("relax", latency_cycles, edges, bytes)``
+    The bandwidth-managed form: the engine owns a DRAM reservation clock
+    and serializes the ``bytes`` of all relax batches through the device's
+    peak bandwidth, so aggregate memory throughput is exactly the spec's
+    peak when saturated and the batch's duration is
+    ``max(latency_cycles, queueing delay + own transfer time)``.  This is
+    what makes saturated executions bandwidth-bound and starved ones
+    latency-bound without any per-batch sharing guesswork.
+
+``("wait", predicate)``
+    The block sleeps until ``predicate()`` is true.  Predicates are
+    re-evaluated whenever any other block completes an event; a small
+    wake-up cost (:attr:`CostModel.af_poll_cycles`) is charged on resume.
+    This models a WTB spinning on its assignment flag in scratchpad —
+    cheap, off the memory fabric — without flooding the engine with poll
+    events.
+
+Programs finish by returning.  :meth:`Device.run` returns when every
+program has finished; if all remaining programs are waiting and no
+predicate can ever fire the engine raises :class:`DeviceError` (deadlock),
+which turns protocol bugs into loud failures instead of hangs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeviceError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.memory import SimMemory
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timeline import Timeline
+
+__all__ = ["Device", "BlockContext"]
+
+Program = Generator[tuple, None, None]
+
+
+@dataclass
+class BlockContext:
+    """Per-block bookkeeping the engine keeps for a registered program."""
+
+    block_id: int
+    name: str
+    program: Program = field(repr=False)
+    busy_cycles: float = 0.0
+    idle_cycles: float = 0.0
+    events: int = 0
+    finished: bool = False
+    _wait_started: float = 0.0
+
+
+class Device:
+    """A simulated GPU executing thread-block programs.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (see :mod:`repro.gpu.specs`).
+    cost:
+        Cycle cost model; defaults to ``CostModel(spec)``.
+    max_events:
+        Safety valve: total event budget before the engine declares a
+        livelock (:class:`DeviceError`).
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        cost: Optional[CostModel] = None,
+        *,
+        max_events: int = 20_000_000,
+    ) -> None:
+        self.spec = spec
+        self.cost = cost if cost is not None else CostModel(spec)
+        if self.cost.spec is not spec and self.cost.spec != spec:
+            raise DeviceError("cost model was built for a different device spec")
+        self.mem = SimMemory()
+        self.timeline = Timeline(label=spec.name)
+        self.now: float = 0.0  # cycles
+        self.max_events = max_events
+        self._blocks: List[BlockContext] = []
+        self._heap: List[Tuple[float, int, BlockContext]] = []
+        self._seq = itertools.count()
+        self._waiting: List[Tuple[BlockContext, Callable[[], bool]]] = []
+        self._relax_blocks = 0
+        self._relax_edges = 0.0
+        self._relax_integral = 0.0  # ∫ edges-in-flight dt, edge·cycles
+        self._relax_changed_at = 0.0
+        self._bw_clock = 0.0  # DRAM reservation clock, cycles
+        self._bytes_moved = 0.0
+        self._total_events = 0
+        self._ran = False
+
+    # -- setup ----------------------------------------------------------------- #
+
+    def add_block(self, name: str, program: Program) -> BlockContext:
+        """Register a thread-block program before :meth:`run`."""
+        if self._ran:
+            raise DeviceError("cannot add blocks after run()")
+        if len(self._blocks) >= self.spec.max_resident_blocks:
+            raise DeviceError(
+                f"{self.spec.name} fits only {self.spec.max_resident_blocks} "
+                f"resident blocks of {self.spec.threads_per_block} threads"
+            )
+        ctx = BlockContext(block_id=len(self._blocks), name=name, program=program)
+        self._blocks.append(ctx)
+        return ctx
+
+    # -- queries programs may use ------------------------------------------------ #
+
+    @property
+    def now_us(self) -> float:
+        return self.spec.cycles_to_us(self.now)
+
+    def active_relax_blocks(self) -> int:
+        """Blocks currently inside a ``relax`` event (bandwidth sharers)."""
+        return self._relax_blocks
+
+    def active_relax_edges(self) -> float:
+        """Edges currently in flight (the figures' 'parallelism')."""
+        return self._relax_edges
+
+    def relax_edge_integral(self) -> float:
+        """∫ edges-in-flight dt so far, in edge·cycles.
+
+        Two readings divided by the elapsed cycles give the exact
+        time-averaged parallelism over a window — the utilization signal
+        the ADDS Δ controller samples (point samples would alias the
+        burst-idle-burst pattern of small batches)."""
+        return self._relax_integral + self._relax_edges * (
+            self.now - self._relax_changed_at
+        )
+
+    def _bump_relax(self, delta_edges: float) -> None:
+        self._relax_integral += self._relax_edges * (self.now - self._relax_changed_at)
+        self._relax_changed_at = self.now
+        self._relax_edges += delta_edges
+
+    # -- engine ----------------------------------------------------------------- #
+
+    def run(self) -> float:
+        """Execute all registered programs to completion; returns cycles."""
+        if self._ran:
+            raise DeviceError("device already ran")
+        self._ran = True
+        for ctx in self._blocks:
+            self._schedule(ctx, self.now)
+        while self._heap or self._waiting:
+            if not self._heap:
+                self._wake_waiters()
+                if not self._heap:
+                    waiters = ", ".join(c.name for c, _ in self._waiting)
+                    raise DeviceError(f"deadlock: blocks waiting forever: {waiters}")
+                continue
+            t, _, ctx = heapq.heappop(self._heap)
+            self.now = max(self.now, t)
+            self._step(ctx)
+            self._wake_waiters()
+        return self.now
+
+    # -- internals --------------------------------------------------------------- #
+
+    def _schedule(self, ctx: BlockContext, t: float) -> None:
+        heapq.heappush(self._heap, (t, next(self._seq), ctx))
+
+    def _wake_waiters(self) -> None:
+        if not self._waiting:
+            return
+        still: List[Tuple[BlockContext, Callable[[], bool]]] = []
+        for ctx, pred in self._waiting:
+            if pred():
+                ctx.idle_cycles += self.now - ctx._wait_started
+                # charge the successful poll that noticed the flag change
+                self._schedule(ctx, self.now + self.cost.af_poll_cycles)
+            else:
+                still.append((ctx, pred))
+        self._waiting = still
+
+    def _finish_relax(self, edges: float) -> None:
+        self._relax_blocks -= 1
+        self._bump_relax(-edges)
+        self.timeline.record(self.now_us, max(0.0, self._relax_edges))
+
+    def _step(self, ctx: BlockContext) -> None:
+        """Resume one program and interpret its next yielded event."""
+        self._total_events += 1
+        if self._total_events > self.max_events:
+            raise DeviceError(
+                f"event budget exceeded ({self.max_events}); "
+                "likely a livelock in a block program"
+            )
+        # Complete the effects of the event that just elapsed.
+        pending = getattr(ctx, "_pending_relax", None)
+        if pending is not None:
+            self._finish_relax(pending)
+            ctx._pending_relax = None
+
+        try:
+            event = next(ctx.program)
+        except StopIteration:
+            ctx.finished = True
+            return
+
+        ctx.events += 1
+        kind = event[0]
+        if kind == "busy":
+            cycles = float(event[1])
+            if cycles < 0:
+                raise DeviceError(f"{ctx.name}: negative busy duration")
+            ctx.busy_cycles += cycles
+            self._schedule(ctx, self.now + cycles)
+        elif kind == "relax":
+            cycles, edges = float(event[1]), float(event[2])
+            if cycles < 0 or edges < 0:
+                raise DeviceError(f"{ctx.name}: negative relax event")
+            if len(event) >= 4:
+                # bandwidth-managed form: serialize bytes through DRAM
+                nbytes = float(event[3])
+                if nbytes < 0:
+                    raise DeviceError(f"{ctx.name}: negative relax bytes")
+                service_start = max(self.now, self._bw_clock)
+                transfer_done = service_start + nbytes / self.spec.bytes_per_cycle
+                self._bw_clock = transfer_done
+                self._bytes_moved += nbytes
+                cycles = max(cycles, transfer_done - self.now)
+            ctx.busy_cycles += cycles
+            self._relax_blocks += 1
+            self._bump_relax(edges)
+            self.timeline.record(self.now_us, self._relax_edges)
+            ctx._pending_relax = edges
+            self._schedule(ctx, self.now + cycles)
+        elif kind == "wait":
+            pred = event[1]
+            if not callable(pred):
+                raise DeviceError(f"{ctx.name}: wait predicate must be callable")
+            if pred():
+                self._schedule(ctx, self.now + self.cost.af_poll_cycles)
+            else:
+                ctx._wait_started = self.now
+                self._waiting.append((ctx, pred))
+        else:
+            raise DeviceError(f"{ctx.name}: unknown event kind {kind!r}")
+
+    # -- reporting ------------------------------------------------------------------ #
+
+    def block_report(self) -> List[dict]:
+        """Per-block busy/idle summary (debugging and tests)."""
+        return [
+            {
+                "name": c.name,
+                "busy_cycles": c.busy_cycles,
+                "idle_cycles": c.idle_cycles,
+                "events": c.events,
+                "finished": c.finished,
+            }
+            for c in self._blocks
+        ]

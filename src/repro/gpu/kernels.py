@@ -1,0 +1,84 @@
+"""BSP execution helper for the double-buffered baselines.
+
+Near-Far, Bellman-Ford and the NV stand-in all follow the Bulk Synchronous
+Parallel pattern the paper describes in §1/§4.2: each iteration launches a
+kernel over the current worklist, with an implicit device-wide barrier
+(and a pile swap) between iterations.  :class:`BspMachine` charges those
+iterations against the cost model and records the per-superstep available
+parallelism, which is exactly the NF curve plotted in Figures 11–15
+(footnote 1: "the edge count for NF is the amount of available work at the
+beginning of each BSP super-step").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DeviceError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timeline import Timeline
+
+__all__ = ["BspMachine"]
+
+
+class BspMachine:
+    """Accumulates simulated time for a BSP-style solver.
+
+    Parameters
+    ----------
+    spec:
+        The GPU to run on.
+    cost:
+        Cost model override (defaults to ``CostModel(spec)``).
+    overhead_multiplier:
+        Scales the per-superstep fixed cost; Gunrock's frontier machinery
+        is heavier than Lonestar's, which the baselines express here.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        cost: Optional[CostModel] = None,
+        *,
+        label: str = "",
+        overhead_multiplier: float = 1.0,
+    ) -> None:
+        self.spec = spec
+        self.cost = cost if cost is not None else CostModel(spec)
+        self.overhead_multiplier = overhead_multiplier
+        self.cycles: float = 0.0
+        self.timeline = Timeline(label=label)
+        self.supersteps: int = 0
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.spec.cycles_to_us(self.cycles)
+
+    def superstep(
+        self,
+        items: int,
+        edges: int,
+        avg_degree: float,
+        *,
+        float_weights: bool = False,
+    ) -> float:
+        """Charge one BSP iteration; returns its duration in cycles."""
+        if items < 0 or edges < 0:
+            raise DeviceError("superstep with negative work")
+        base = self.cost.bsp_superstep_cycles(
+            items, edges, avg_degree, float_weights=float_weights
+        )
+        launch = self.cost.kernel_launch_cycles()
+        dur = launch * self.overhead_multiplier + (base - launch)
+        self.timeline.record(self.spec.cycles_to_us(self.cycles), float(edges))
+        self.cycles += dur
+        self.timeline.record(self.spec.cycles_to_us(self.cycles), 0.0)
+        self.supersteps += 1
+        return dur
+
+    def charge_us(self, us: float) -> None:
+        """Charge fixed setup/teardown time (e.g. profiling kernel)."""
+        if us < 0:
+            raise DeviceError("negative charge")
+        self.cycles += self.spec.us_to_cycles(us)

@@ -1,0 +1,197 @@
+"""Simulated device memory: atomics, fences and traffic accounting.
+
+The event engine in :mod:`repro.gpu.device` is cooperative (a block's
+program runs uninterrupted between ``yield`` points), so the *values*
+produced by these atomics are trivially correct; what this module adds is
+
+- the **API shape** of the CUDA primitives the paper's kernels use
+  (``atomicAdd``/``atomicMin``/``atomicCAS``, ``__threadfence``), so the
+  ADDS code reads like the algorithm in §5;
+- **operation counters**, which feed reports and tests (e.g. the tests
+  that assert the MTB performs a fence before trusting ``resv_ptr``); and
+- a **pre-allocated arena** (:class:`GlobalPool`) from which the ADDS
+  block allocator draws its 64 Ki-word blocks, mirroring the paper's
+  "large block of pre-allocated GPU memory" (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+__all__ = ["MemoryStats", "SimMemory", "GlobalPool", "WORDS_PER_BLOCK"]
+
+#: The paper's allocation granularity: blocks of 64 Ki 32-bit words (§5.3).
+WORDS_PER_BLOCK = 1 << 16
+
+
+@dataclass
+class MemoryStats:
+    """Counters of simulated memory operations, by kind."""
+
+    global_reads: int = 0
+    global_writes: int = 0
+    scratchpad_reads: int = 0
+    scratchpad_writes: int = 0
+    atomics: int = 0
+    fences: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "global_reads": self.global_reads,
+            "global_writes": self.global_writes,
+            "scratchpad_reads": self.scratchpad_reads,
+            "scratchpad_writes": self.scratchpad_writes,
+            "atomics": self.atomics,
+            "fences": self.fences,
+        }
+
+
+class SimMemory:
+    """Atomic primitives over NumPy arrays, with operation accounting.
+
+    One instance is shared by all thread-block programs on a device; the
+    distinction between "global" and "scratchpad" exists only in the
+    counters (and in the cost events programs emit), exactly as on real
+    hardware where it is an address-space property.
+    """
+
+    def __init__(self) -> None:
+        self.stats = MemoryStats()
+
+    # -- atomics ----------------------------------------------------------- #
+
+    def atomic_add(self, arr: np.ndarray, index: int, value) -> int:
+        """``atomicAdd``: add, return the *old* value."""
+        self.stats.atomics += 1
+        old = arr[index]
+        arr[index] = old + value
+        return old.item() if hasattr(old, "item") else old
+
+    def atomic_min(self, arr: np.ndarray, index: int, value) -> bool:
+        """``atomicMin``: returns True iff the stored value decreased."""
+        self.stats.atomics += 1
+        if value < arr[index]:
+            arr[index] = value
+            return True
+        return False
+
+    def atomic_min_batch(
+        self,
+        arr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        payload: np.ndarray = None,
+        payload_out: np.ndarray = None,
+    ) -> np.ndarray:
+        """Vectorized atomic-min over possibly-duplicated indices.
+
+        Returns a boolean mask marking the entries whose value became the
+        new minimum at their index (i.e. "my atomicMin won"), matching the
+        semantics each GPU thread observes.  Implemented with
+        ``np.minimum.at`` (an unbuffered scatter-min, the NumPy analog of
+        hardware atomics).
+
+        When ``payload``/``payload_out`` are given, each winning entry also
+        stores ``payload[i]`` into ``payload_out[indices[i]]`` — the
+        64-bit packed (distance, predecessor) update GPU SSSP kernels use
+        to keep the shortest-path tree consistent with the distances.
+        """
+        self.stats.atomics += int(indices.size)
+        if indices.size == 0:
+            return np.zeros(0, dtype=bool)
+        before = arr[indices].copy()
+        np.minimum.at(arr, indices, values)
+        after = arr[indices]
+        # A thread "wins" if it improved on the pre-batch value and is the
+        # (first) entry that holds the post-batch minimum for its index.
+        improved = values < before
+        is_final = values == after
+        winners = improved & is_final
+        # Deduplicate: when several entries tie on the same index, keep one.
+        if winners.any():
+            idx_w = indices[winners]
+            order = np.flatnonzero(winners)
+            uniq, first = np.unique(idx_w, return_index=True)
+            keep = order[first]
+            winners = np.zeros_like(winners)
+            winners[keep] = True
+        if payload is not None and payload_out is not None and winners.any():
+            payload_out[indices[winners]] = payload[winners]
+        return winners
+
+    def atomic_cas(self, arr: np.ndarray, index: int, expected, desired) -> int:
+        """``atomicCAS``: conditional swap, returns the old value."""
+        self.stats.atomics += 1
+        old = arr[index]
+        if old == expected:
+            arr[index] = desired
+        return old.item() if hasattr(old, "item") else old
+
+    # -- fences and plain accesses ------------------------------------------ #
+
+    def fence(self) -> None:
+        """``__threadfence``: in the cooperative simulator ordering is
+        already sequential; the call is counted so protocol tests can
+        assert it happened where §5.2 requires it."""
+        self.stats.fences += 1
+
+    def read(self, n: int = 1, *, scratchpad: bool = False) -> None:
+        if scratchpad:
+            self.stats.scratchpad_reads += n
+        else:
+            self.stats.global_reads += n
+
+    def write(self, n: int = 1, *, scratchpad: bool = False) -> None:
+        if scratchpad:
+            self.stats.scratchpad_writes += n
+        else:
+            self.stats.global_writes += n
+
+
+class GlobalPool:
+    """The pre-allocated arena backing ADDS's bucket blocks (§5.3).
+
+    ``acquire`` hands out fixed-size int64 blocks ("64K 32-bit words" in
+    the paper; we store (vertex, distance) pairs per slot, so the slot
+    count per block is what matches).  ``release`` returns a block for
+    reuse.  The FIFO usage pattern of the bucket queue means a simple
+    free list suffices — that simplicity is the paper's point.
+    """
+
+    def __init__(self, num_blocks: int, words_per_block: int = WORDS_PER_BLOCK) -> None:
+        if num_blocks < 1:
+            raise AllocationError("pool needs at least one block")
+        self.words_per_block = int(words_per_block)
+        self._free = list(range(num_blocks - 1, -1, -1))
+        self.num_blocks = num_blocks
+        # storage[i] holds block i; two int64 lanes: vertex id and distance
+        # bit pattern (distances are stored via a codec by the queue).
+        self.storage = np.zeros((num_blocks, self.words_per_block, 2), dtype=np.int64)
+        self.high_water = 0
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> int:
+        """Take a free block id; raises :class:`AllocationError` when empty."""
+        if not self._free:
+            raise AllocationError(
+                f"global pool exhausted ({self.num_blocks} blocks in use)"
+            )
+        blk = self._free.pop()
+        self.high_water = max(self.high_water, self.num_blocks - len(self._free))
+        return blk
+
+    def release(self, block_id: int) -> None:
+        if not 0 <= block_id < self.num_blocks:
+            raise AllocationError(f"release of unknown block {block_id}")
+        if block_id in self._free:
+            raise AllocationError(f"double free of block {block_id}")
+        self._free.append(block_id)

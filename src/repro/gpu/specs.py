@@ -1,0 +1,137 @@
+"""Device specifications (the paper's Table 1, plus the CPU baseline host).
+
+These are plain data: the cost model in :mod:`repro.gpu.costmodel` turns
+them into cycle costs.  Keeping specs and model separate is what makes the
+paper's §6.5 experiment ("no tuning of the source code" across GPUs)
+reproducible — the 3090 run changes only the spec object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "CpuSpec", "RTX_2080TI", "RTX_3090", "CPU_I9_7900X"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU, in the terms the paper's Table 1 uses."""
+
+    name: str
+    sm_count: int
+    threads_per_sm: int
+    max_clock_ghz: float
+    dram_bandwidth_gbs: float
+    dram_gb: float
+    l2_mb: float
+    scratchpad_kb_per_sm: int
+    compute_capability: str
+    #: CUDA threads per thread block used by every solver in this repo.
+    threads_per_block: int = 256
+
+    @property
+    def total_threads(self) -> int:
+        """Total resident hardware threads (the paper's "68K threads")."""
+        return self.sm_count * self.threads_per_sm
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """How many thread blocks fit on the device at once."""
+        return self.sm_count * (self.threads_per_sm // self.threads_per_block)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak DRAM bytes per core clock cycle."""
+        return self.dram_bandwidth_gbs * 1e9 / (self.max_clock_ghz * 1e9)
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert core cycles to microseconds of wall time."""
+        return cycles / (self.max_clock_ghz * 1e3)
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * self.max_clock_ghz * 1e3
+
+    def scaled(
+        self, factor: float, *, bandwidth_factor: float = None, name: str = None
+    ) -> "DeviceSpec":
+        """A proportionally smaller GPU.
+
+        The reproduction's corpus is ~10–100× smaller than the paper's
+        inputs (DESIGN.md §4.4), so running it against a full 68-SM device
+        would leave *every* graph in the underutilized regime and erase
+        the paper's saturated-vs-starved contrast.  ``scaled(1/16)`` keeps
+        the work-to-hardware ratio of the paper's experiments: SM count
+        shrinks (min 1); clocks and per-SM limits are untouched.
+
+        ``bandwidth_factor`` scales DRAM bandwidth independently (default:
+        the achieved SM ratio).  The calibration layer passes
+        ``sqrt(factor)``: memory *latency* does not shrink with a smaller
+        chip, so giving the scaled device proportionally more bandwidth
+        per SM keeps the latency-to-throughput balance — and with it the
+        starved-graphs-are-latency-bound / saturated-graphs-are-
+        bandwidth-bound split of the paper's §6.4 — intact at small scale.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        from dataclasses import replace
+
+        new_sms = max(1, round(self.sm_count * factor))
+        ratio = new_sms / self.sm_count
+        bw = bandwidth_factor if bandwidth_factor is not None else ratio
+        return replace(
+            self,
+            name=name or f"{self.name} x{factor:g}",
+            sm_count=new_sms,
+            dram_bandwidth_gbs=self.dram_bandwidth_gbs * bw,
+            dram_gb=self.dram_gb * ratio,
+            l2_mb=self.l2_mb * ratio,
+        )
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU for the Galois baselines (CPU-DS, serial Dijkstra)."""
+
+    name: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    #: sustained random-access latency per pointer-chase, nanoseconds
+    mem_latency_ns: float = 60.0
+    #: sustained DRAM bandwidth, GB/s
+    dram_bandwidth_gbs: float = 80.0
+
+
+#: The paper's primary evaluation GPU (Table 1, left column).
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080 Ti",
+    sm_count=68,
+    threads_per_sm=1024,
+    max_clock_ghz=1.75,
+    dram_bandwidth_gbs=616.0,
+    dram_gb=11.0,
+    l2_mb=5.5,
+    scratchpad_kb_per_sm=48,
+    compute_capability="7.5",
+)
+
+#: The robustness-check GPU (Table 1, right column); +52 % DRAM bandwidth.
+RTX_3090 = DeviceSpec(
+    name="RTX 3090",
+    sm_count=82,
+    threads_per_sm=1536,
+    max_clock_ghz=1.8,
+    dram_bandwidth_gbs=936.0,
+    dram_gb=24.0,
+    l2_mb=6.0,
+    scratchpad_kb_per_sm=48,
+    compute_capability="8.6",
+)
+
+#: Host for CPU-DS and serial Dijkstra (§6.1: 10 cores / 20 threads @ 3.3 GHz).
+CPU_I9_7900X = CpuSpec(
+    name="Core i9-7900X",
+    cores=10,
+    threads=20,
+    clock_ghz=3.3,
+)

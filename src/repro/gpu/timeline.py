@@ -1,0 +1,89 @@
+"""Parallelism-over-time traces (the data behind the paper's Figures 11–15).
+
+The paper plots "the amount of parallelism (edge count) during the
+progress of execution (us)" for ADDS vs NF.  A :class:`Timeline` is a step
+function: ``record(t, value)`` appends a sample whenever the amount of
+in-flight work changes; integrals and averages are then exact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """A piecewise-constant ``value(t)`` series in microseconds."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def record(self, t_us: float, value: float) -> None:
+        """Append a sample; out-of-order times are clamped forward."""
+        if self._t and t_us < self._t[-1]:
+            t_us = self._t[-1]
+        if self._t and self._t[-1] == t_us:
+            self._v[-1] = value
+            return
+        self._t.append(float(t_us))
+        self._v.append(float(value))
+
+    # -- queries -------------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def duration_us(self) -> float:
+        return self._t[-1] if self._t else 0.0
+
+    def series(self) -> Tuple[Sequence[float], Sequence[float]]:
+        """``(times_us, values)`` of the raw step samples."""
+        return tuple(self._t), tuple(self._v)
+
+    def value_at(self, t_us: float) -> float:
+        """The step-function value at time ``t_us``."""
+        if not self._t or t_us < self._t[0]:
+            return 0.0
+        import bisect
+
+        i = bisect.bisect_right(self._t, t_us) - 1
+        return self._v[i]
+
+    def time_average(self) -> float:
+        """Time-weighted mean value — 'average parallelism' in the figures."""
+        if len(self._t) < 2:
+            return self._v[0] if self._v else 0.0
+        total = 0.0
+        for i in range(len(self._t) - 1):
+            total += self._v[i] * (self._t[i + 1] - self._t[i])
+        span = self._t[-1] - self._t[0]
+        return total / span if span > 0 else self._v[-1]
+
+    def peak(self) -> float:
+        return max(self._v) if self._v else 0.0
+
+    def resample(self, num_points: int) -> Tuple[List[float], List[float]]:
+        """Evenly-spaced samples for plotting/printing (endpoints included)."""
+        if not self._t:
+            return [], []
+        if num_points < 2 or self.duration_us == 0:
+            return [self._t[0]], [self._v[0]]
+        ts = [
+            self._t[0] + (self._t[-1] - self._t[0]) * i / (num_points - 1)
+            for i in range(num_points)
+        ]
+        return ts, [self.value_at(t) for t in ts]
+
+    def to_rows(self) -> List[Tuple[float, float]]:
+        """``(t_us, value)`` rows, e.g. for CSV export."""
+        return list(zip(self._t, self._v))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Timeline({self.label!r}, samples={len(self)}, "
+            f"duration={self.duration_us:.1f}us, avg={self.time_average():.1f})"
+        )

@@ -1,0 +1,51 @@
+"""Graph substrate: CSR storage, generators, GR format I/O, metrics, suite.
+
+The paper evaluates on 226 graphs from Lonestar 4.0 and the SuiteSparse
+Matrix Collection.  This package provides:
+
+- :class:`~repro.graphs.csr.CSRGraph` — the compressed-sparse-row graph
+  every solver consumes (int32 topology, int32 or float32 weights, exactly
+  like the artifact's int/float build pair);
+- :mod:`~repro.graphs.generators` — synthetic generators for each
+  structural class the paper analyzes (road grids, RMAT power-law, uniform
+  random, FEM banded meshes, clique chains);
+- :mod:`~repro.graphs.gr_format` — the DIMACS challenge-9 binary ``.gr``
+  format used by Galois/Lonestar and the paper's artifact;
+- :mod:`~repro.graphs.metrics` — degree/weight statistics and the
+  BFS pseudo-diameter used to bin graphs as in the paper's Table 2;
+- :mod:`~repro.graphs.suite` — the deterministic synthetic corpus standing
+  in for the paper's 226-graph collection.
+"""
+
+from repro.graphs.csr import CSRGraph, from_edge_list
+from repro.graphs.generators import (
+    clique_chain,
+    fem_mesh,
+    grid_road,
+    random_geometric,
+    random_gnm,
+    rmat,
+)
+from repro.graphs.gr_format import read_gr, write_gr
+from repro.graphs.metrics import GraphStats, compute_stats, pseudo_diameter, reachable_fraction
+from repro.graphs.suite import SuiteEntry, build_suite, named_graph
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "grid_road",
+    "rmat",
+    "random_gnm",
+    "random_geometric",
+    "fem_mesh",
+    "clique_chain",
+    "read_gr",
+    "write_gr",
+    "GraphStats",
+    "compute_stats",
+    "pseudo_diameter",
+    "reachable_fraction",
+    "SuiteEntry",
+    "build_suite",
+    "named_graph",
+]

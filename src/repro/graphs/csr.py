@@ -1,0 +1,295 @@
+"""Compressed-sparse-row graph storage.
+
+All SSSP solvers in this repository consume :class:`CSRGraph`.  The layout
+mirrors what the GPU implementations in the paper use: a ``row_offsets``
+array of length ``n + 1``, a ``col_indices`` array of length ``m`` and a
+parallel ``weights`` array.  Topology arrays are ``int32`` (the artifact's
+GR format is 32-bit) and weights are either ``int32`` or ``float32`` —
+matching the paper's ``*_int`` / ``*_float`` build pair.
+
+Weights must be non-negative; like the paper (§6.1.1) we convert negative
+weights to positive magnitudes at construction time when asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+
+__all__ = ["CSRGraph", "from_edge_list", "expand_frontier"]
+
+#: Sentinel "infinite" distance for int32 solvers (same role as the
+#: artifact's ``MYINFINITY``).  Chosen so that ``INF_INT32 + max_weight``
+#: cannot overflow int64 accumulation buffers.
+INF_INT32 = np.int32(2**31 - 1)
+
+#: Sentinel distance for float solvers.
+INF_FLOAT32 = np.float32(np.inf)
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph with non-negative edge weights in CSR form.
+
+    Attributes
+    ----------
+    row_offsets:
+        ``int64`` array of length ``n + 1``; out-edges of vertex ``v`` are
+        the half-open slice ``col_indices[row_offsets[v]:row_offsets[v+1]]``.
+        (int64 so edge counts above 2**31 remain representable, although
+        generated inputs stay far below that.)
+    col_indices:
+        ``int32`` array of length ``m`` of destination vertex ids.
+    weights:
+        length-``m`` array of edge weights; dtype ``int32`` or ``float32``.
+    name:
+        Optional label used by the suite, benches and reports.
+    """
+
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    weights: np.ndarray
+    name: str = "graph"
+    _stats_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ro, ci, w = self.row_offsets, self.col_indices, self.weights
+        if ro.ndim != 1 or ci.ndim != 1 or w.ndim != 1:
+            raise GraphConstructionError("CSR arrays must be one-dimensional")
+        if ro.size == 0:
+            raise GraphConstructionError("row_offsets must have length n + 1 >= 1")
+        if ci.size != w.size:
+            raise GraphConstructionError(
+                f"col_indices ({ci.size}) and weights ({w.size}) differ in length"
+            )
+        if int(ro[0]) != 0 or int(ro[-1]) != ci.size:
+            raise GraphConstructionError(
+                "row_offsets must start at 0 and end at the edge count"
+            )
+        if ro.size > 1 and np.any(np.diff(ro) < 0):
+            raise GraphConstructionError("row_offsets must be non-decreasing")
+        if ci.size and (int(ci.min()) < 0 or int(ci.max()) >= self.num_vertices):
+            raise GraphConstructionError("col_indices out of range")
+        if w.size and w.dtype.kind in "if" and float(w.min()) < 0:
+            raise GraphConstructionError(
+                "negative edge weight; pass negate_negative_weights=True to the builder"
+            )
+        if w.dtype not in (np.dtype(np.int32), np.dtype(np.float32)):
+            raise GraphConstructionError(
+                f"weights must be int32 or float32, got {w.dtype}"
+            )
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.row_offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return self.col_indices.size
+
+    @property
+    def is_integer_weighted(self) -> bool:
+        """True for the ``*_int`` flavour, False for ``*_float``."""
+        return self.weights.dtype == np.dtype(np.int32)
+
+    @property
+    def infinity(self):
+        """The sentinel distance value appropriate for this weight dtype."""
+        return INF_INT32 if self.is_integer_weighted else INF_FLOAT32
+
+    def dist_dtype(self) -> np.dtype:
+        """Dtype of distance arrays produced by solvers for this graph."""
+        return np.dtype(np.int64) if self.is_integer_weighted else np.dtype(np.float64)
+
+    # -- views --------------------------------------------------------------
+
+    def out_degree(self, v: Optional[int] = None):
+        """Out-degree of ``v``, or the full int64 degree vector if ``v`` is None."""
+        if v is None:
+            return np.diff(self.row_offsets)
+        return int(self.row_offsets[v + 1] - self.row_offsets[v])
+
+    def neighbors(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(destinations, weights)`` views for vertex ``v`` (no copies)."""
+        lo, hi = int(self.row_offsets[v]), int(self.row_offsets[v + 1])
+        return self.col_indices[lo:hi], self.weights[lo:hi]
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        """Iterate ``(src, dst, weight)`` triples (test/debug helper)."""
+        for v in range(self.num_vertices):
+            dsts, ws = self.neighbors(v)
+            for d, w in zip(dsts.tolist(), ws.tolist()):
+                yield v, d, w
+
+    # -- statistics used by the Delta heuristic ------------------------------
+
+    def average_weight(self) -> float:
+        """Mean edge weight ``W`` (the paper's profile-kernel statistic)."""
+        if "avg_weight" not in self._stats_cache:
+            self._stats_cache["avg_weight"] = (
+                float(self.weights.mean()) if self.num_edges else 0.0
+            )
+        return self._stats_cache["avg_weight"]
+
+    def average_degree(self) -> float:
+        """Mean out-degree ``D``."""
+        n = self.num_vertices
+        return self.num_edges / n if n else 0.0
+
+    def max_weight(self) -> float:
+        if "max_weight" not in self._stats_cache:
+            self._stats_cache["max_weight"] = (
+                float(self.weights.max()) if self.num_edges else 0.0
+            )
+        return self._stats_cache["max_weight"]
+
+    # -- transforms -----------------------------------------------------------
+
+    def reversed(self) -> "CSRGraph":
+        """The transpose graph (used by reachability checks on directed inputs)."""
+        n, m = self.num_vertices, self.num_edges
+        src = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(self.row_offsets).astype(np.int64)
+        )
+        order = np.argsort(self.col_indices, kind="stable")
+        new_src = self.col_indices[order]
+        counts = np.bincount(new_src, minlength=n).astype(np.int64)
+        ro = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ro[1:])
+        return CSRGraph(
+            row_offsets=ro,
+            col_indices=src[order].astype(np.int32),
+            weights=self.weights[order].copy(),
+            name=f"{self.name}^T",
+        )
+
+    def with_weights(self, weights: np.ndarray, name: Optional[str] = None) -> "CSRGraph":
+        """Same topology with a different weight vector."""
+        return CSRGraph(
+            row_offsets=self.row_offsets,
+            col_indices=self.col_indices,
+            weights=np.ascontiguousarray(weights),
+            name=name or self.name,
+        )
+
+    def as_float(self) -> "CSRGraph":
+        """The float32-weighted twin of an int graph (artifact's ``*_float``)."""
+        if not self.is_integer_weighted:
+            return self
+        return self.with_weights(
+            self.weights.astype(np.float32), name=f"{self.name}-float"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges}, dtype={self.weights.dtype})"
+        )
+
+
+def from_edge_list(
+    num_vertices: int,
+    edges: Sequence[Tuple[int, int, float]] | np.ndarray,
+    *,
+    dtype: str = "int32",
+    name: str = "graph",
+    negate_negative_weights: bool = False,
+    dedupe: bool = False,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from ``(src, dst, weight)`` triples.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex count; vertex ids must lie in ``[0, num_vertices)``.
+    edges:
+        Sequence of triples or an ``(m, 3)`` array.
+    dtype:
+        ``"int32"`` or ``"float32"`` weight storage.
+    negate_negative_weights:
+        Apply the paper's §6.1.1 rule: convert negative weights to their
+        absolute value instead of rejecting them.
+    dedupe:
+        Keep only the minimum-weight copy of each parallel edge.
+    """
+    if num_vertices < 0:
+        raise GraphConstructionError("num_vertices must be non-negative")
+    arr = np.asarray(edges, dtype=np.float64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 3)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise GraphConstructionError("edges must be (m, 3) of (src, dst, weight)")
+    src = arr[:, 0].astype(np.int64)
+    dst = arr[:, 1].astype(np.int64)
+    w = arr[:, 2]
+    if arr.shape[0]:
+        if src.min() < 0 or src.max() >= num_vertices:
+            raise GraphConstructionError("edge source out of range")
+        if dst.min() < 0 or dst.max() >= num_vertices:
+            raise GraphConstructionError("edge destination out of range")
+    if negate_negative_weights:
+        w = np.abs(w)
+    if dedupe and arr.shape[0]:
+        key = src * num_vertices + dst
+        order = np.lexsort((w, key))
+        key_s, w_s = key[order], w[order]
+        first = np.ones(key_s.size, dtype=bool)
+        first[1:] = key_s[1:] != key_s[:-1]
+        keep = order[first]
+        src, dst, w = src[keep], dst[keep], w[keep]
+
+    order = np.lexsort((dst, src))
+    src, dst, w = src[order], dst[order], w[order]
+    counts = np.bincount(src, minlength=num_vertices).astype(np.int64)
+    ro = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=ro[1:])
+    wdt = np.dtype(dtype)
+    if wdt == np.dtype(np.int32):
+        wout = np.rint(w).astype(np.int32)
+    elif wdt == np.dtype(np.float32):
+        wout = w.astype(np.float32)
+    else:
+        raise GraphConstructionError(f"unsupported weight dtype {dtype!r}")
+    return CSRGraph(
+        row_offsets=ro,
+        col_indices=dst.astype(np.int32),
+        weights=wout,
+        name=name,
+    )
+
+
+def expand_frontier(
+    graph: CSRGraph, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather all out-edges of ``frontier`` vertices in one vectorized pass.
+
+    Returns ``(sources, destinations, weights)`` where ``sources[i]`` is the
+    frontier vertex whose edge produced ``destinations[i]``.  This is the
+    shared "edge expansion" primitive every frontier-based solver uses; it
+    is the ragged-gather idiom (repeat + cumulative offsets) so the hot
+    path stays inside NumPy.
+    """
+    frontier = np.asarray(frontier)
+    if frontier.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
+    starts = graph.row_offsets[frontier]
+    counts = graph.row_offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
+    # flat[i] walks each vertex's edge range contiguously
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    flat = np.repeat(starts, counts) + within
+    sources = np.repeat(frontier.astype(np.int64), counts)
+    return sources, graph.col_indices[flat], graph.weights[flat]

@@ -1,0 +1,143 @@
+"""Graph statistics used for suite selection and the paper's Table 2.
+
+The paper bins its 226 inputs by average degree (<4, 4–8, 8–32, 32–64,
+>=64) and diameter (<40, 40–320, 320–640, >=640) and requires ≥75 % of the
+vertices to be reachable (§6.1.1).  ``pseudo_diameter`` is the standard
+double-sweep BFS lower bound (hop distance), which is how diameters of
+large graphs are reported in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, expand_frontier
+
+__all__ = [
+    "GraphStats",
+    "bfs_levels",
+    "pseudo_diameter",
+    "reachable_fraction",
+    "compute_stats",
+    "DEGREE_BINS",
+    "DIAMETER_BINS",
+    "degree_bin",
+    "diameter_bin",
+]
+
+#: Table 2 degree bin edges (right-open intervals, last unbounded).
+DEGREE_BINS: Tuple[float, ...] = (4.0, 8.0, 32.0, 64.0)
+#: Table 2 diameter bin edges.
+DIAMETER_BINS: Tuple[float, ...] = (40.0, 320.0, 640.0)
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every vertex (-1 if unreachable)."""
+    n = graph.num_vertices
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        _, dsts, _ = expand_frontier(graph, frontier)
+        if dsts.size == 0:
+            break
+        cand = np.unique(dsts.astype(np.int64))
+        new = cand[level[cand] < 0]
+        if new.size == 0:
+            break
+        level[new] = depth
+        frontier = new
+    return level
+
+
+def reachable_fraction(graph: CSRGraph, source: int = 0) -> float:
+    """Fraction of vertices reachable from ``source`` (paper requires ≥0.75)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    level = bfs_levels(graph, source)
+    return float((level >= 0).sum()) / n
+
+
+def pseudo_diameter(graph: CSRGraph, source: int = 0, sweeps: int = 2) -> int:
+    """Double-sweep BFS pseudo-diameter (hop count).
+
+    Runs BFS from ``source``, restarts from the farthest reached vertex,
+    and repeats ``sweeps`` times; returns the largest eccentricity seen.
+    A lower bound on the true diameter that is tight for the graph classes
+    used here (grids, meshes, power-law).
+    """
+    best = 0
+    start = source
+    for _ in range(max(1, sweeps)):
+        level = bfs_levels(graph, start)
+        reached = level >= 0
+        if not reached.any():
+            break
+        ecc = int(level[reached].max())
+        best = max(best, ecc)
+        far = np.flatnonzero(level == ecc)
+        start = int(far[-1])
+    return best
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for one graph, as used by Table 2 and Figures 8–9."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    avg_weight: float
+    max_weight: float
+    diameter: int
+    reachable: float
+
+    def degree_bin_label(self) -> str:
+        return degree_bin(self.avg_degree)
+
+    def diameter_bin_label(self) -> str:
+        return diameter_bin(self.diameter)
+
+
+def degree_bin(avg_degree: float) -> str:
+    """Bin label for Table 2's degree row."""
+    lo = 0.0
+    labels = ["<4", "4-8", "8-32", "32-64", ">=64"]
+    for edge, label in zip(DEGREE_BINS, labels):
+        if avg_degree < edge:
+            return label
+        lo = edge
+    return labels[-1]
+
+
+def diameter_bin(diameter: float) -> str:
+    """Bin label for Table 2's diameter row."""
+    labels = ["<40", "40-320", "320-640", ">=640"]
+    for edge, label in zip(DIAMETER_BINS, labels):
+        if diameter < edge:
+            return label
+    return labels[-1]
+
+
+def compute_stats(graph: CSRGraph, source: int = 0) -> GraphStats:
+    """Compute the full :class:`GraphStats` record for one graph."""
+    deg = graph.out_degree()
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        avg_degree=graph.average_degree(),
+        max_degree=int(deg.max()) if deg.size else 0,
+        avg_weight=graph.average_weight(),
+        max_weight=graph.max_weight(),
+        diameter=pseudo_diameter(graph, source),
+        reachable=reachable_fraction(graph, source),
+    )

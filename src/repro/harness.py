@@ -1,0 +1,152 @@
+"""The experiment driver: the artifact's ``run_all.sh`` as a library.
+
+``run_suite`` executes a set of solvers over a corpus on a chosen device
+model, collecting :class:`~repro.baselines.common.SSSPResult`s, verifying
+them against each other, and producing the pairwise ratios the paper's
+tables are built from.  ``write_result_files`` emits the artifact's
+``<solver>_result`` text format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.distributions import Distribution, bin_ratios
+from repro.baselines.common import SOLVERS, SSSPResult, get_solver
+from repro.calibration import default_cost, default_gpu
+from repro.errors import SolverError, ValidationError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.specs import DeviceSpec
+from repro.graphs.suite import SuiteEntry, build_suite
+from repro.validation import verify_results
+
+__all__ = ["RunRecord", "SuiteRun", "run_suite", "write_result_files"]
+
+#: Solvers that execute on the simulated GPU (accept spec/cost kwargs).
+GPU_SOLVERS = {"adds", "nf", "gun-nf", "gun-bf", "nv"}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """All solvers' results for one graph."""
+
+    graph: str
+    category: str
+    results: Dict[str, SSSPResult]
+
+    def ratio(self, metric: str, solver_a: str, solver_b: str) -> float:
+        """``b / a`` for time (speedup of a over b) or work."""
+        a, b = self.results[solver_a], self.results[solver_b]
+        if metric == "time":
+            return b.time_us / max(1e-12, a.time_us)
+        if metric == "work":
+            return b.work_count / max(1, a.work_count)
+        raise SolverError(f"unknown metric {metric!r}")
+
+
+@dataclass
+class SuiteRun:
+    """The outcome of :func:`run_suite`."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    verification_failures: List[str] = field(default_factory=list)
+
+    def speedups(self, solver: str, baseline: str) -> List[float]:
+        return [r.ratio("time", solver, baseline) for r in self.records]
+
+    def work_ratios(self, solver: str, baseline: str) -> List[float]:
+        """ADDS-work / baseline-work convention of Table 4 is baseline
+        over solver inverted — Table 4 reports the solver's vertex count
+        normalized *to* the baseline, i.e. solver/baseline."""
+        return [1.0 / r.ratio("work", solver, baseline) for r in self.records]
+
+    def speedup_distribution(self, solver: str, baseline: str, label: str = None) -> Distribution:
+        return bin_ratios(
+            self.speedups(solver, baseline), label=label or baseline.upper()
+        )
+
+    def by_category(self) -> Dict[str, List[RunRecord]]:
+        out: Dict[str, List[RunRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.category, []).append(r)
+        return out
+
+
+def run_suite(
+    *,
+    solvers: Sequence[str] = ("adds", "nf"),
+    suite: Optional[Sequence[SuiteEntry]] = None,
+    spec: Optional[DeviceSpec] = None,
+    cost: Optional[CostModel] = None,
+    solver_options: Optional[Dict[str, dict]] = None,
+    verify: bool = True,
+    verify_atol: float = 1e-2,
+    verify_rtol: float = 1e-5,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteRun:
+    """Run ``solvers`` over ``suite`` (default: the full corpus).
+
+    GPU solvers receive ``spec``/``cost`` (default: the calibrated scaled
+    RTX 2080 Ti); CPU solvers ignore them.  With ``verify=True`` every
+    solver's distances are checked against the first solver's (the
+    ``verify_against_*`` step); failures are recorded, not raised, so one
+    bad run doesn't lose a whole sweep.
+    """
+    for s in solvers:
+        get_solver(s)  # fail fast on typos
+    if suite is None:
+        suite = build_suite()
+    spec = spec or default_gpu()
+    cost = cost or default_cost(spec)
+    solver_options = solver_options or {}
+
+    run = SuiteRun()
+    for entry in suite:
+        graph = entry.graph()
+        results: Dict[str, SSSPResult] = {}
+        for name in solvers:
+            fn = get_solver(name)
+            kwargs = dict(solver_options.get(name, {}))
+            if name in GPU_SOLVERS:
+                kwargs.setdefault("spec", spec)
+                kwargs.setdefault("cost", cost)
+            results[name] = fn(graph, entry.source, **kwargs)
+            if progress:
+                progress(f"{entry.name}: {name} done")
+        if verify and len(results) > 1:
+            ref_name = solvers[0]
+            for name in solvers[1:]:
+                mism = verify_results(
+                    results[ref_name], results[name],
+                    atol=verify_atol, rtol=verify_rtol,
+                )
+                if mism:
+                    run.verification_failures.append(
+                        f"{entry.name}: {name} vs {ref_name}: "
+                        f"{len(mism)}+ mismatches (first: {mism[0]})"
+                    )
+        run.records.append(
+            RunRecord(graph=entry.name, category=entry.category, results=results)
+        )
+    return run
+
+
+def write_result_files(run: SuiteRun, out_dir: Union[str, Path]) -> List[Path]:
+    """Emit the artifact's ``<solver>_result`` files: one line per graph,
+    ``graph_name run_time(s) work_count``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    solvers = set()
+    for rec in run.records:
+        solvers.update(rec.results)
+    paths = []
+    for name in sorted(solvers):
+        path = out_dir / f"{name.replace('-', '_')}_result"
+        with open(path, "w") as fh:
+            for rec in run.records:
+                if name in rec.results:
+                    fh.write(rec.results[name].result_line() + "\n")
+        paths.append(path)
+    return paths

@@ -1,0 +1,63 @@
+"""Dijkstra-specific behaviour: work optimality, heap accounting, timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import solve_dijkstra
+from repro.gpu.costmodel import CpuCostModel
+from repro.gpu.specs import CPU_I9_7900X
+
+
+class TestWorkOptimality:
+    def test_each_reachable_vertex_expanded_once(self, small_road):
+        r = solve_dijkstra(small_road, 0)
+        assert r.work_count == small_road.num_vertices  # connected graph
+
+    def test_unreachable_not_expanded(self, disconnected_graph):
+        r = solve_dijkstra(disconnected_graph, 0)
+        assert r.work_count == 3
+
+    def test_lowest_work_of_all_solvers(self, small_mesh):
+        from repro.baselines import solve_gun_bf, solve_nf
+
+        dij = solve_dijkstra(small_mesh, 0)
+        assert dij.work_count <= solve_nf(small_mesh, 0).work_count
+        assert dij.work_count <= solve_gun_bf(small_mesh, 0).work_count
+
+
+class TestStats:
+    def test_stale_pops_accounted(self, small_rmat):
+        r = solve_dijkstra(small_rmat, 0)
+        assert r.stats["stale_pops"] >= 0
+        assert r.stats["heap_ops"] > r.work_count
+        assert r.stats["edges_relaxed"] > 0
+
+    def test_line_graph_exact_counts(self, line_graph):
+        r = solve_dijkstra(line_graph, 0)
+        assert r.work_count == 6
+        assert r.stats["edges_relaxed"] == 5
+        assert r.stats["stale_pops"] == 0
+
+
+class TestTiming:
+    def test_time_scales_with_size(self):
+        from repro.graphs import grid_road
+
+        small = solve_dijkstra(grid_road(10, 10, seed=1), 0)
+        large = solve_dijkstra(grid_road(40, 40, seed=1), 0)
+        assert large.time_us > small.time_us * 4
+
+    def test_custom_cost_model(self, small_road):
+        slow = CpuCostModel(CPU_I9_7900X).with_overrides(edge_ns=1000.0)
+        fast = CpuCostModel(CPU_I9_7900X)
+        r_slow = solve_dijkstra(small_road, 0, cost=slow)
+        r_fast = solve_dijkstra(small_road, 0, cost=fast)
+        assert r_slow.time_us > r_fast.time_us
+        assert r_slow.work_count == r_fast.work_count  # timing only
+
+    def test_deterministic(self, small_rmat):
+        a = solve_dijkstra(small_rmat, 0)
+        b = solve_dijkstra(small_rmat, 0)
+        assert a.time_us == b.time_us
+        assert a.work_count == b.work_count

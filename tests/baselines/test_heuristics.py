@@ -1,0 +1,53 @@
+"""Tests for the Davidson Δ heuristic shared by all parallel solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NEAR_FAR_C, davidson_delta
+from repro.errors import SolverError
+from repro.graphs import from_edge_list, grid_road
+
+
+class TestFormula:
+    def test_formula_c_w_over_d(self):
+        # two vertices, one edge of weight 10 -> W=10, D=0.5
+        g = from_edge_list(2, [(0, 1, 10)])
+        assert davidson_delta(g, 4.0) == pytest.approx(4.0 * 10 / 0.5)
+
+    def test_default_constant(self, small_road):
+        assert davidson_delta(small_road) == pytest.approx(
+            davidson_delta(small_road, NEAR_FAR_C)
+        )
+
+    def test_scales_linearly_with_c(self, small_road):
+        assert davidson_delta(small_road, 64) == pytest.approx(
+            2 * davidson_delta(small_road, 32)
+        )
+
+    def test_floor_at_one(self):
+        # tiny weights + high degree would give delta << 1
+        g = from_edge_list(3, [(0, 1, 1), (0, 2, 1), (1, 0, 1), (1, 2, 1), (2, 0, 1), (2, 1, 1)])
+        assert davidson_delta(g, 0.001) == 1.0
+
+    def test_empty_graph(self):
+        g = from_edge_list(5, [])
+        assert davidson_delta(g) == 1.0
+
+    def test_invalid_constant(self, small_road):
+        with pytest.raises(SolverError):
+            davidson_delta(small_road, 0)
+
+    def test_heavy_tail_inflates_delta(self):
+        """The Figure 4 mechanism: a tail-dominated average weight pushes
+        the heuristic far from the typical edge weight."""
+        from repro.graphs import fem_mesh
+
+        uniform = fem_mesh(500, band=12, stride=3, max_weight=16, seed=1)
+        heavy = fem_mesh(
+            500, band=12, stride=3, max_weight=65535, weight_style="heavy", seed=1
+        )
+        import numpy as np
+
+        assert davidson_delta(heavy) > 3 * davidson_delta(uniform)
+        assert np.median(heavy.weights) < 10  # typical edge stays small

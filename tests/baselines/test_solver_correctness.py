@@ -1,0 +1,127 @@
+"""Cross-solver correctness: every implementation must agree with Dijkstra.
+
+This is the repo's analog of the artifact's ``verify_against_*`` scripts,
+run over every structural class in the corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    solve_cpu_ds,
+    solve_dijkstra,
+    solve_gun_bf,
+    solve_gun_nf,
+    solve_nf,
+    solve_nv,
+)
+from repro.core import solve_adds
+
+ALL_SOLVERS = [
+    solve_dijkstra,
+    solve_cpu_ds,
+    solve_nf,
+    solve_gun_nf,
+    solve_gun_bf,
+    solve_nv,
+    solve_adds,
+]
+
+GRAPH_FIXTURES = [
+    "tiny_graph",
+    "line_graph",
+    "small_road",
+    "small_rmat",
+    "small_mesh",
+    "small_gnm",
+    "small_cliques",
+]
+
+
+def check(result, graph, oracle, source, *, atol=1e-9):
+    ref = oracle(graph, source)
+    got = np.nan_to_num(result.dist, posinf=-1.0)
+    exp = np.nan_to_num(ref, posinf=-1.0)
+    np.testing.assert_allclose(got, exp, atol=atol)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("fixture", GRAPH_FIXTURES)
+def test_solver_matches_oracle(solver, fixture, request, oracle):
+    graph = request.getfixturevalue(fixture)
+    result = solver(graph, 0)
+    # NV computes in float32 internally (artifact appendix: distances can
+    # differ by rounding on int graphs)
+    atol = 1e-2 * max(1.0, float(np.nanmax(np.where(np.isinf(result.dist), 0, result.dist)))) \
+        if result.solver == "nv" else 1e-9
+    check(result, graph, oracle, 0, atol=atol)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_nonzero_source(solver, small_road, oracle):
+    result = solver(small_road, 37)
+    check(result, small_road, oracle, 37, atol=1e-2 if result.solver == "nv" else 1e-9)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_disconnected_graph_unreachable_inf(solver, disconnected_graph):
+    result = solver(disconnected_graph, 0)
+    assert np.isinf(result.dist[3]) and np.isinf(result.dist[4])
+    assert result.dist[0] == 0.0
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_float_weights(solver, small_road, oracle):
+    g = small_road.as_float()
+    result = solver(g, 0)
+    check(result, g, oracle, 0, atol=1e-2 if result.solver == "nv" else 1e-6)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_single_vertex_graph(solver):
+    from repro.graphs import from_edge_list
+
+    g = from_edge_list(1, [])
+    result = solver(g, 0)
+    assert result.dist[0] == 0.0
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_parallel_edges_take_minimum(solver, oracle):
+    from repro.graphs import from_edge_list
+
+    g = from_edge_list(3, [(0, 1, 9), (0, 1, 2), (1, 2, 9), (1, 2, 4)])
+    result = solver(g, 0)
+    assert result.dist[1] == pytest.approx(2, abs=1e-6)
+    assert result.dist[2] == pytest.approx(6, abs=1e-6)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+def test_zero_weight_edges(solver, oracle):
+    from repro.graphs import from_edge_list
+
+    g = from_edge_list(4, [(0, 1, 0), (1, 2, 0), (2, 3, 5)])
+    result = solver(g, 0)
+    assert result.dist[2] == pytest.approx(0.0, abs=1e-9)
+    assert result.dist[3] == pytest.approx(5.0, abs=1e-6)
+
+
+class TestResultMetadata:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_provenance_and_positivity(self, solver, small_road):
+        r = solver(small_road, 0)
+        assert r.graph_name == small_road.name
+        assert r.source == 0
+        assert r.work_count > 0
+        assert r.time_us > 0
+        assert len(r.timeline) >= 1
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda f: f.__name__)
+    def test_work_at_least_reached_vertices(self, solver, line_graph):
+        """Every reached vertex (minus leaves with no outgoing work) must
+        have been processed at least once; work below n-1 on a path graph
+        would mean skipped relaxations."""
+        r = solver(line_graph, 0)
+        assert r.work_count >= line_graph.num_vertices - 1

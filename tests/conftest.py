@@ -1,0 +1,88 @@
+"""Shared fixtures: small graphs reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    clique_chain,
+    fem_mesh,
+    from_edge_list,
+    grid_road,
+    random_gnm,
+    rmat,
+)
+
+
+@pytest.fixture
+def tiny_graph():
+    """The paper's Figure 1 sample graph: S -> A (10), S -> B (1), B -> A (2)."""
+    # vertices: 0 = S, 1 = A, 2 = B
+    return from_edge_list(3, [(0, 1, 10), (0, 2, 1), (2, 1, 2)], name="fig1")
+
+
+@pytest.fixture
+def line_graph():
+    """A 6-vertex path with unit weights: distances are 0..5."""
+    edges = [(i, i + 1, 1) for i in range(5)]
+    return from_edge_list(6, edges, name="line6")
+
+
+@pytest.fixture
+def small_road():
+    return grid_road(16, 12, seed=7)
+
+
+@pytest.fixture
+def small_rmat():
+    return rmat(9, edge_factor=8, seed=7)
+
+
+@pytest.fixture
+def small_mesh():
+    return fem_mesh(800, band=16, stride=2, seed=7)
+
+
+@pytest.fixture
+def small_gnm():
+    return random_gnm(600, 2400, seed=7)
+
+
+@pytest.fixture
+def small_cliques():
+    return clique_chain(6, 18, seed=7)
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components: 0-1-2 connected, 3-4 connected, no bridge."""
+    return from_edge_list(
+        5, [(0, 1, 3), (1, 2, 4), (3, 4, 1), (4, 3, 1)], name="disc"
+    )
+
+
+def reference_dijkstra(graph, source):
+    """Plain heapq Dijkstra used as the oracle in solver tests."""
+    import heapq
+
+    n = graph.num_vertices
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        dsts, ws = graph.neighbors(v)
+        for u, w in zip(dsts.tolist(), ws.tolist()):
+            nd = d + w
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, u))
+    return dist
+
+
+@pytest.fixture
+def oracle():
+    return reference_dijkstra

@@ -1,0 +1,76 @@
+"""Validation and ablation helpers of AddsConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AddsConfig
+from repro.errors import SolverError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = AddsConfig()
+        assert cfg.n_buckets == 32  # §5.4
+        assert cfg.dynamic_delta is True
+        assert cfg.clip_fraction == 0.65  # §5.5's empirical bound
+        assert cfg.termination_sweeps == 2  # §5.4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AddsConfig().n_buckets = 5
+
+    def test_replace(self):
+        cfg = AddsConfig().replace(n_buckets=8)
+        assert cfg.n_buckets == 8
+        assert AddsConfig().n_buckets == 32
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_buckets": 1},
+            {"segment_size": 0},
+            {"slots_per_block": 16, "segment_size": 32},
+            {"slots_per_block": 100, "segment_size": 32},
+            {"pool_blocks": 8},
+            {"max_chunk": 0},
+            {"util_low": 0.0},
+            {"util_low": 2.0, "util_high": 1.0},
+            {"clip_fraction": 0.0},
+            {"clip_fraction": 1.5},
+            {"delta_growth": 1.0},
+            {"min_active_buckets": 0},
+            {"min_active_buckets": 5, "max_active_buckets": 3},
+            {"max_active_buckets": 64},
+            {"termination_sweeps": 0},
+            {"settle_passes": 0},
+            {"ewma_alpha": 0.0},
+            {"warmup_passes": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kw):
+        with pytest.raises(SolverError):
+            AddsConfig(**kw)
+
+
+class TestAblations:
+    def test_static_delta_ablation(self):
+        cfg = AddsConfig().static_delta_ablation()
+        assert cfg.dynamic_delta is False
+        assert cfg.n_buckets == 32
+        # §5.5's fine-grained mechanism is part of the dynamic scheme:
+        # the ablation pins the assignment window to the head bucket
+        assert cfg.min_active_buckets == cfg.max_active_buckets == 1
+
+    def test_two_buckets_ablation(self):
+        cfg = AddsConfig().two_buckets_ablation()
+        assert cfg.dynamic_delta is False
+        assert cfg.n_buckets == 2
+        assert cfg.max_active_buckets == 1
+
+    def test_ablations_do_not_mutate_base(self):
+        base = AddsConfig()
+        base.two_buckets_ablation()
+        assert base.n_buckets == 32

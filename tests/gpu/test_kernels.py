@@ -1,0 +1,86 @@
+"""Tests for the BSP machine (superstep accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import BspMachine, CostModel, RTX_2080TI
+
+
+@pytest.fixture
+def machine():
+    return BspMachine(RTX_2080TI, label="t")
+
+
+class TestSuperstep:
+    def test_accumulates_time(self, machine):
+        d1 = machine.superstep(100, 800, 8.0)
+        d2 = machine.superstep(100, 800, 8.0)
+        assert machine.cycles == pytest.approx(d1 + d2)
+        assert machine.supersteps == 2
+
+    def test_matches_cost_model(self, machine):
+        dur = machine.superstep(50, 400, 8.0)
+        expect = machine.cost.bsp_superstep_cycles(50, 400, 8.0)
+        assert dur == pytest.approx(expect)
+
+    def test_overhead_multiplier_scales_launch_only(self):
+        lean = BspMachine(RTX_2080TI)
+        heavy = BspMachine(RTX_2080TI, overhead_multiplier=2.0)
+        d_lean = lean.superstep(10, 80, 8.0)
+        d_heavy = heavy.superstep(10, 80, 8.0)
+        launch = lean.cost.kernel_launch_cycles()
+        assert d_heavy - d_lean == pytest.approx(launch)
+
+    def test_elapsed_us_conversion(self, machine):
+        machine.superstep(10, 80, 8.0)
+        assert machine.elapsed_us == pytest.approx(
+            RTX_2080TI.cycles_to_us(machine.cycles)
+        )
+
+    def test_negative_work_rejected(self, machine):
+        with pytest.raises(DeviceError):
+            machine.superstep(-1, 0, 8.0)
+        with pytest.raises(DeviceError):
+            machine.superstep(1, -5, 8.0)
+
+    def test_empty_superstep_still_costs_launch(self, machine):
+        dur = machine.superstep(0, 0, 8.0)
+        assert dur == pytest.approx(machine.cost.kernel_launch_cycles())
+
+    def test_float_weights_slower(self, machine):
+        di = machine.superstep(500, 4000, 8.0)
+        df = machine.superstep(500, 4000, 8.0, float_weights=True)
+        assert df > di
+
+
+class TestTimelineRecording:
+    def test_records_available_work_per_superstep(self, machine):
+        machine.superstep(10, 123, 8.0)
+        machine.superstep(10, 456, 8.0)
+        ts, vs = machine.timeline.series()
+        assert 123.0 in vs and 456.0 in vs
+        assert vs[-1] == 0.0  # drops to zero after the last superstep
+
+    def test_times_monotone(self, machine):
+        for i in range(5):
+            machine.superstep(10, 100 * (i + 1), 8.0)
+        ts, _ = machine.timeline.series()
+        assert list(ts) == sorted(ts)
+
+
+class TestCharge:
+    def test_charge_us(self, machine):
+        machine.charge_us(10.0)
+        assert machine.elapsed_us == pytest.approx(10.0)
+
+    def test_negative_charge_rejected(self, machine):
+        with pytest.raises(DeviceError):
+            machine.charge_us(-1.0)
+
+    def test_custom_cost_model(self):
+        cost = CostModel(RTX_2080TI, kernel_launch_us=100.0)
+        m = BspMachine(RTX_2080TI, cost)
+        m.superstep(1, 1, 1.0)
+        assert m.elapsed_us >= 100.0

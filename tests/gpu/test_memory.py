@@ -1,0 +1,159 @@
+"""Tests for simulated memory: atomics, batch atomic-min, the block pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.gpu import SimMemory
+from repro.gpu.memory import WORDS_PER_BLOCK, GlobalPool
+
+
+@pytest.fixture
+def mem():
+    return SimMemory()
+
+
+class TestAtomics:
+    def test_atomic_add_returns_old(self, mem):
+        a = np.array([5], dtype=np.int64)
+        assert mem.atomic_add(a, 0, 3) == 5
+        assert a[0] == 8
+
+    def test_atomic_min_improves(self, mem):
+        a = np.array([10], dtype=np.int64)
+        assert mem.atomic_min(a, 0, 7) is True
+        assert a[0] == 7
+
+    def test_atomic_min_no_change(self, mem):
+        a = np.array([5], dtype=np.int64)
+        assert mem.atomic_min(a, 0, 9) is False
+        assert a[0] == 5
+
+    def test_atomic_cas_success(self, mem):
+        a = np.array([1], dtype=np.int64)
+        assert mem.atomic_cas(a, 0, 1, 42) == 1
+        assert a[0] == 42
+
+    def test_atomic_cas_failure(self, mem):
+        a = np.array([2], dtype=np.int64)
+        assert mem.atomic_cas(a, 0, 1, 42) == 2
+        assert a[0] == 2
+
+    def test_counters(self, mem):
+        a = np.array([0], dtype=np.int64)
+        mem.atomic_add(a, 0, 1)
+        mem.atomic_min(a, 0, -1)
+        mem.fence()
+        mem.read(3)
+        mem.write(2, scratchpad=True)
+        s = mem.stats.snapshot()
+        assert s["atomics"] == 2
+        assert s["fences"] == 1
+        assert s["global_reads"] == 3
+        assert s["scratchpad_writes"] == 2
+
+
+class TestAtomicMinBatch:
+    def test_simple_batch(self, mem):
+        dist = np.array([10, 10, 10], dtype=np.float64)
+        winners = mem.atomic_min_batch(
+            dist, np.array([0, 2]), np.array([5.0, 20.0])
+        )
+        assert dist.tolist() == [5, 10, 10]
+        assert winners.tolist() == [True, False]
+
+    def test_duplicate_indices_single_winner(self, mem):
+        dist = np.array([100.0])
+        winners = mem.atomic_min_batch(
+            dist, np.array([0, 0, 0]), np.array([7.0, 3.0, 7.0])
+        )
+        assert dist[0] == 3.0
+        assert winners.sum() == 1
+        assert winners[1]  # the value that holds the final minimum
+
+    def test_tied_duplicates_one_winner(self, mem):
+        dist = np.array([100.0])
+        winners = mem.atomic_min_batch(
+            dist, np.array([0, 0]), np.array([4.0, 4.0])
+        )
+        assert winners.sum() == 1
+
+    def test_no_improvement_no_winners(self, mem):
+        dist = np.array([1.0, 2.0])
+        winners = mem.atomic_min_batch(
+            dist, np.array([0, 1]), np.array([5.0, 5.0])
+        )
+        assert not winners.any()
+
+    def test_empty_batch(self, mem):
+        dist = np.array([1.0])
+        winners = mem.atomic_min_batch(dist, np.array([], dtype=np.int64), np.array([]))
+        assert winners.size == 0
+
+    def test_counts_every_atomic(self, mem):
+        dist = np.full(4, 9.0)
+        mem.atomic_min_batch(dist, np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0]))
+        assert mem.stats.atomics == 3
+
+    def test_matches_serial_semantics(self, mem):
+        rng = np.random.default_rng(0)
+        dist = rng.uniform(0, 100, size=50)
+        idx = rng.integers(0, 50, size=500)
+        vals = rng.uniform(0, 100, size=500)
+        expect = dist.copy()
+        for i, v in zip(idx, vals):
+            expect[i] = min(expect[i], v)
+        mem.atomic_min_batch(dist, idx, vals)
+        assert np.allclose(dist, expect)
+
+
+class TestGlobalPool:
+    def test_acquire_release_cycle(self):
+        pool = GlobalPool(3, words_per_block=16)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert a != b
+        assert pool.free_blocks == 1
+        pool.release(a)
+        assert pool.free_blocks == 2
+
+    def test_exhaustion_raises(self):
+        pool = GlobalPool(1, words_per_block=16)
+        pool.acquire()
+        with pytest.raises(AllocationError, match="exhausted"):
+            pool.acquire()
+
+    def test_double_free_raises(self):
+        pool = GlobalPool(2, words_per_block=16)
+        a = pool.acquire()
+        pool.release(a)
+        with pytest.raises(AllocationError, match="double free"):
+            pool.release(a)
+
+    def test_unknown_block_release(self):
+        pool = GlobalPool(2, words_per_block=16)
+        with pytest.raises(AllocationError, match="unknown block"):
+            pool.release(99)
+
+    def test_default_block_size_is_the_papers(self):
+        pool = GlobalPool(1)
+        assert pool.words_per_block == WORDS_PER_BLOCK == 65536
+
+    def test_high_water_mark(self):
+        pool = GlobalPool(4, words_per_block=8)
+        a = pool.acquire()
+        b = pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        pool.acquire()
+        assert pool.high_water == 2
+
+    def test_storage_shape(self):
+        pool = GlobalPool(2, words_per_block=32)
+        assert pool.storage.shape == (2, 32, 2)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(AllocationError):
+            GlobalPool(0)

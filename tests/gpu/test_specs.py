@@ -1,0 +1,73 @@
+"""Tests for device specifications (paper Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import CPU_I9_7900X, RTX_2080TI, RTX_3090, DeviceSpec
+
+
+class TestPaperTable1:
+    """The spec constants must match the paper's Table 1 exactly."""
+
+    def test_2080ti(self):
+        s = RTX_2080TI
+        assert s.sm_count == 68
+        assert s.threads_per_sm == 1024
+        assert s.max_clock_ghz == pytest.approx(1.75)
+        assert s.dram_bandwidth_gbs == pytest.approx(616.0)
+        assert s.dram_gb == pytest.approx(11.0)
+        assert s.l2_mb == pytest.approx(5.5)
+        assert s.scratchpad_kb_per_sm == 48
+        assert s.compute_capability == "7.5"
+
+    def test_3090(self):
+        s = RTX_3090
+        assert s.sm_count == 82
+        assert s.threads_per_sm == 1536
+        assert s.max_clock_ghz == pytest.approx(1.8)
+        assert s.dram_bandwidth_gbs == pytest.approx(936.0)
+        assert s.dram_gb == pytest.approx(24.0)
+        assert s.compute_capability == "8.6"
+
+    def test_3090_has_52_percent_more_bandwidth(self):
+        """§6.5: the 3090 has '52% greater peak DRAM bandwidth'."""
+        ratio = RTX_3090.dram_bandwidth_gbs / RTX_2080TI.dram_bandwidth_gbs
+        assert ratio == pytest.approx(1.52, abs=0.01)
+
+    def test_total_threads_is_the_papers_68k(self):
+        """§4.2 says 'a RTX 2080 GPU has 68K hardware threads'."""
+        assert RTX_2080TI.total_threads == 68 * 1024
+
+    def test_cpu_spec(self):
+        assert CPU_I9_7900X.cores == 10
+        assert CPU_I9_7900X.threads == 20
+        assert CPU_I9_7900X.clock_ghz == pytest.approx(3.3)
+
+
+class TestDerivedQuantities:
+    def test_max_resident_blocks(self):
+        assert RTX_2080TI.max_resident_blocks == 68 * (1024 // 256)
+
+    def test_cycle_time_roundtrip(self):
+        us = 12.5
+        assert RTX_2080TI.cycles_to_us(RTX_2080TI.us_to_cycles(us)) == pytest.approx(us)
+
+    def test_bytes_per_cycle(self):
+        # 616 GB/s at 1.75 GHz = 352 bytes per cycle
+        assert RTX_2080TI.bytes_per_cycle == pytest.approx(352.0)
+
+    def test_custom_spec(self):
+        s = DeviceSpec(
+            name="toy",
+            sm_count=2,
+            threads_per_sm=512,
+            max_clock_ghz=1.0,
+            dram_bandwidth_gbs=100.0,
+            dram_gb=1.0,
+            l2_mb=1.0,
+            scratchpad_kb_per_sm=48,
+            compute_capability="0.0",
+        )
+        assert s.total_threads == 1024
+        assert s.max_resident_blocks == 4

@@ -1,0 +1,83 @@
+"""Tests for the parallelism timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import Timeline
+
+
+class TestRecord:
+    def test_basic_series(self):
+        tl = Timeline("x")
+        tl.record(0.0, 10)
+        tl.record(5.0, 20)
+        ts, vs = tl.series()
+        assert ts == (0.0, 5.0)
+        assert vs == (10.0, 20.0)
+
+    def test_same_time_overwrites(self):
+        tl = Timeline()
+        tl.record(1.0, 5)
+        tl.record(1.0, 9)
+        assert tl.series() == ((1.0,), (9.0,))
+
+    def test_out_of_order_clamped(self):
+        tl = Timeline()
+        tl.record(10.0, 1)
+        tl.record(4.0, 2)  # clamped to t=10
+        ts, _ = tl.series()
+        assert ts == (10.0,)
+
+    def test_len_and_duration(self):
+        tl = Timeline()
+        assert len(tl) == 0 and tl.duration_us == 0.0
+        tl.record(0, 1)
+        tl.record(8, 0)
+        assert len(tl) == 2 and tl.duration_us == 8.0
+
+
+class TestQueries:
+    def make(self):
+        tl = Timeline()
+        tl.record(0.0, 100)
+        tl.record(10.0, 300)
+        tl.record(20.0, 0)
+        return tl
+
+    def test_value_at(self):
+        tl = self.make()
+        assert tl.value_at(-1) == 0.0
+        assert tl.value_at(0) == 100
+        assert tl.value_at(9.99) == 100
+        assert tl.value_at(10) == 300
+        assert tl.value_at(50) == 0
+
+    def test_time_average(self):
+        tl = self.make()
+        # 100 for 10us, 300 for 10us → 200
+        assert tl.time_average() == pytest.approx(200.0)
+
+    def test_time_average_single_sample(self):
+        tl = Timeline()
+        tl.record(3.0, 42)
+        assert tl.time_average() == 42.0
+
+    def test_peak(self):
+        assert self.make().peak() == 300
+
+    def test_empty_average(self):
+        assert Timeline().time_average() == 0.0
+
+    def test_resample(self):
+        tl = self.make()
+        ts, vs = tl.resample(5)
+        assert len(ts) == len(vs) == 5
+        assert ts[0] == 0.0 and ts[-1] == 20.0
+        assert vs[0] == 100 and vs[-1] == 0
+
+    def test_resample_empty(self):
+        assert Timeline().resample(4) == ([], [])
+
+    def test_to_rows(self):
+        assert self.make().to_rows() == [(0.0, 100.0), (10.0, 300.0), (20.0, 0.0)]

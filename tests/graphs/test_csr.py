@@ -1,0 +1,194 @@
+"""Unit tests for CSR graph construction and views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import CSRGraph, from_edge_list
+from repro.graphs.csr import INF_FLOAT32, INF_INT32, expand_frontier
+
+
+class TestFromEdgeList:
+    def test_basic_construction(self, tiny_graph):
+        assert tiny_graph.num_vertices == 3
+        assert tiny_graph.num_edges == 3
+        assert tiny_graph.is_integer_weighted
+
+    def test_row_offsets_are_prefix_sums(self, tiny_graph):
+        assert tiny_graph.row_offsets.tolist() == [0, 2, 2, 3]
+
+    def test_neighbors_sorted_by_destination(self):
+        g = from_edge_list(4, [(0, 3, 1), (0, 1, 2), (0, 2, 3)])
+        dsts, ws = g.neighbors(0)
+        assert dsts.tolist() == [1, 2, 3]
+        assert ws.tolist() == [2, 3, 1]
+
+    def test_empty_graph(self):
+        g = from_edge_list(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_degree(2) == 0
+
+    def test_zero_vertices(self):
+        g = from_edge_list(0, [])
+        assert g.num_vertices == 0
+
+    def test_float_dtype(self):
+        g = from_edge_list(2, [(0, 1, 2.5)], dtype="float32")
+        assert not g.is_integer_weighted
+        assert g.weights[0] == pytest.approx(2.5)
+
+    def test_int_dtype_rounds(self):
+        g = from_edge_list(2, [(0, 1, 2.6)], dtype="int32")
+        assert g.weights[0] == 3
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list(2, [(0, 1, -5)])
+
+    def test_negative_weight_negated_like_paper(self):
+        g = from_edge_list(2, [(0, 1, -5)], negate_negative_weights=True)
+        assert g.weights[0] == 5
+
+    def test_out_of_range_source(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list(2, [(2, 0, 1)])
+
+    def test_out_of_range_destination(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list(2, [(0, 5, 1)])
+
+    def test_dedupe_keeps_min_weight(self):
+        g = from_edge_list(2, [(0, 1, 7), (0, 1, 3), (0, 1, 9)], dedupe=True)
+        assert g.num_edges == 1
+        assert g.weights[0] == 3
+
+    def test_without_dedupe_parallel_edges_kept(self):
+        g = from_edge_list(2, [(0, 1, 7), (0, 1, 3)])
+        assert g.num_edges == 2
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list(2, [(0, 1, 1)], dtype="float64")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list(2, np.ones((3, 2)))
+
+
+class TestCSRGraphValidation:
+    def test_inconsistent_offsets_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(
+                row_offsets=np.array([0, 5], dtype=np.int64),
+                col_indices=np.array([0], dtype=np.int32),
+                weights=np.array([1], dtype=np.int32),
+            )
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(
+                row_offsets=np.array([0, 2, 1, 2], dtype=np.int64),
+                col_indices=np.array([0, 1], dtype=np.int32),
+                weights=np.array([1, 1], dtype=np.int32),
+            )
+
+    def test_col_index_out_of_range(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(
+                row_offsets=np.array([0, 1], dtype=np.int64),
+                col_indices=np.array([7], dtype=np.int32),
+                weights=np.array([1], dtype=np.int32),
+            )
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(
+                row_offsets=np.array([0, 1], dtype=np.int64),
+                col_indices=np.array([0], dtype=np.int32),
+                weights=np.array([1, 2], dtype=np.int32),
+            )
+
+
+class TestProperties:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.out_degree(1) == 0
+        assert tiny_graph.out_degree().tolist() == [2, 0, 1]
+
+    def test_average_statistics(self, tiny_graph):
+        assert tiny_graph.average_degree() == pytest.approx(1.0)
+        assert tiny_graph.average_weight() == pytest.approx((10 + 1 + 2) / 3)
+        assert tiny_graph.max_weight() == 10
+
+    def test_infinity_sentinels(self, tiny_graph):
+        assert tiny_graph.infinity == INF_INT32
+        assert tiny_graph.as_float().infinity == INF_FLOAT32
+
+    def test_edges_iterator(self, tiny_graph):
+        assert sorted(tiny_graph.edges()) == [(0, 1, 10), (0, 2, 1), (2, 1, 2)]
+
+
+class TestTransforms:
+    def test_reversed_roundtrip(self, small_road):
+        rev = small_road.reversed()
+        assert rev.num_edges == small_road.num_edges
+        back = rev.reversed()
+        fwd = sorted(small_road.edges())
+        assert sorted(back.edges()) == fwd
+
+    def test_reversed_edges(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        assert sorted(rev.edges()) == [(1, 0, 10), (1, 2, 2), (2, 0, 1)]
+
+    def test_as_float_preserves_topology(self, tiny_graph):
+        f = tiny_graph.as_float()
+        assert not f.is_integer_weighted
+        assert np.array_equal(f.col_indices, tiny_graph.col_indices)
+        assert f.weights.tolist() == [10.0, 1.0, 2.0]
+
+    def test_as_float_idempotent(self, tiny_graph):
+        f = tiny_graph.as_float()
+        assert f.as_float() is f
+
+    def test_with_weights(self, tiny_graph):
+        w = np.array([5, 5, 5], dtype=np.int32)
+        g = tiny_graph.with_weights(w)
+        assert g.weights.tolist() == [5, 5, 5]
+        assert np.array_equal(g.col_indices, tiny_graph.col_indices)
+
+
+class TestExpandFrontier:
+    def test_empty_frontier(self, tiny_graph):
+        src, dst, w = expand_frontier(tiny_graph, np.array([], dtype=np.int64))
+        assert src.size == dst.size == w.size == 0
+
+    def test_single_vertex(self, tiny_graph):
+        src, dst, w = expand_frontier(tiny_graph, np.array([0]))
+        assert src.tolist() == [0, 0]
+        assert dst.tolist() == [1, 2]
+        assert w.tolist() == [10, 1]
+
+    def test_vertex_without_edges(self, tiny_graph):
+        src, dst, w = expand_frontier(tiny_graph, np.array([1]))
+        assert src.size == 0
+
+    def test_multi_vertex_matches_manual(self, small_road):
+        frontier = np.array([0, 5, 17, 100])
+        src, dst, w = expand_frontier(small_road, frontier)
+        exp_src, exp_dst, exp_w = [], [], []
+        for v in frontier.tolist():
+            d, ww = small_road.neighbors(v)
+            exp_src += [v] * d.size
+            exp_dst += d.tolist()
+            exp_w += ww.tolist()
+        assert src.tolist() == exp_src
+        assert dst.tolist() == exp_dst
+        assert w.tolist() == exp_w
+
+    def test_duplicate_frontier_vertices_expand_twice(self, tiny_graph):
+        src, dst, _ = expand_frontier(tiny_graph, np.array([2, 2]))
+        assert src.tolist() == [2, 2]
+        assert dst.tolist() == [1, 1]

@@ -1,0 +1,220 @@
+"""Tests for the synthetic graph generators.
+
+Each generator must (a) be deterministic under a seed, (b) produce the
+structural signature of its class (degree, diameter shape), and (c) keep
+enough of the graph reachable to satisfy the paper's §6.1.1 selection
+criterion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import (
+    clique_chain,
+    fem_mesh,
+    grid_road,
+    pseudo_diameter,
+    random_geometric,
+    random_gnm,
+    reachable_fraction,
+    rmat,
+)
+
+
+def edges_set(g):
+    return sorted(g.edges())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: grid_road(12, 9, seed=s),
+            lambda s: rmat(8, seed=s),
+            lambda s: random_gnm(300, 900, seed=s),
+            lambda s: random_geometric(300, k=4, seed=s),
+            lambda s: fem_mesh(300, band=12, stride=3, seed=s),
+            lambda s: clique_chain(4, 12, seed=s),
+        ],
+        ids=["road", "rmat", "gnm", "geo", "mesh", "clique"],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert edges_set(factory(3)) == edges_set(factory(3))
+
+    def test_different_seed_different_weights(self):
+        a = grid_road(10, 10, seed=1)
+        b = grid_road(10, 10, seed=2)
+        assert not np.array_equal(a.weights, b.weights)
+
+
+class TestGridRoad:
+    def test_vertex_count(self):
+        g = grid_road(7, 5)
+        assert g.num_vertices == 35
+
+    def test_degree_bounded_by_four(self):
+        g = grid_road(20, 20)
+        assert int(g.out_degree().max()) <= 4
+
+    def test_edge_count_formula(self):
+        w, h = 9, 6
+        g = grid_road(w, h)
+        undirected = (w - 1) * h + w * (h - 1)
+        assert g.num_edges == 2 * undirected
+
+    def test_high_diameter(self):
+        g = grid_road(40, 4)
+        assert pseudo_diameter(g) >= 40  # ≈ width + height
+
+    def test_fully_reachable(self):
+        assert reachable_fraction(grid_road(15, 15)) == 1.0
+
+    def test_symmetric(self):
+        g = grid_road(6, 6, seed=5)
+        es = set((u, v, w) for u, v, w in g.edges())
+        assert all((v, u, w) in es for u, v, w in es)
+
+    def test_diagonals_increase_edges(self):
+        base = grid_road(20, 20, seed=3).num_edges
+        diag = grid_road(20, 20, seed=3, diagonal_fraction=0.5).num_edges
+        assert diag > base
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphConstructionError):
+            grid_road(0, 5)
+
+
+class TestRmat:
+    def test_vertex_count_power_of_two(self):
+        assert rmat(8).num_vertices == 256
+
+    def test_power_law_skew(self):
+        g = rmat(11, edge_factor=8, seed=1)
+        deg = np.sort(g.out_degree())[::-1]
+        # top 1% of vertices own far more than 1% of the edges
+        top = deg[: max(1, deg.size // 100)].sum()
+        assert top > 0.035 * g.num_edges
+        assert deg[0] > 7 * max(1.0, np.median(deg))
+
+    def test_reachability_meets_paper_criterion(self):
+        g = rmat(11, seed=5)
+        assert reachable_fraction(g, 0) >= 0.75
+
+    def test_no_self_loops(self):
+        g = rmat(8, seed=2)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_no_duplicate_edges(self):
+        g = rmat(8, seed=2)
+        pairs = [(u, v) for u, v, _ in g.edges()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_bidirectional_flag(self):
+        g = rmat(7, bidirectional=True, seed=3)
+        es = {(u, v) for u, v, _ in g.edges()}
+        assert all((v, u) in es for u, v in es)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphConstructionError):
+            rmat(8, a=0.6, b=0.3, c=0.2)
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphConstructionError):
+            rmat(0)
+
+
+class TestRandomGnm:
+    def test_edge_count_close_to_requested(self):
+        g = random_gnm(1000, 4000, bidirectional=False, seed=1)
+        assert 0.95 * 4000 <= g.num_edges <= 4000
+
+    def test_binomial_degree_no_heavy_tail(self):
+        g = random_gnm(2000, 16000, seed=1)
+        deg = g.out_degree()
+        assert deg.max() < deg.mean() * 4
+
+    def test_low_diameter(self):
+        g = random_gnm(2000, 16000, seed=1)
+        assert pseudo_diameter(g) < 15
+
+    def test_no_self_loops(self):
+        g = random_gnm(100, 400, seed=1)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(GraphConstructionError):
+            random_gnm(1, 0)
+
+
+class TestRandomGeometric:
+    def test_bounded_degree(self):
+        g = random_geometric(800, k=5, seed=1)
+        # k out-neighbours plus reverse copies; spatial graphs stay low degree
+        assert g.out_degree().mean() < 14
+
+    def test_high_diameter_scaling(self):
+        small = pseudo_diameter(random_geometric(300, k=5, seed=1))
+        large = pseudo_diameter(random_geometric(2700, k=5, seed=1))
+        assert large > small * 1.8  # ~sqrt(9)=3x in theory
+
+    def test_mostly_reachable(self):
+        assert reachable_fraction(random_geometric(1000, k=6, seed=2)) >= 0.75
+
+    def test_weights_positive(self):
+        g = random_geometric(300, k=4, seed=3)
+        assert int(g.weights.min()) >= 1
+
+    def test_needs_enough_points(self):
+        with pytest.raises(GraphConstructionError):
+            random_geometric(4, k=6)
+
+
+class TestFemMesh:
+    def test_band_structure(self):
+        g = fem_mesh(500, band=20, stride=4, seed=1)
+        for u, v, _ in g.edges():
+            assert abs(u - v) <= 20
+
+    def test_regular_degree(self):
+        g = fem_mesh(2000, band=24, stride=3, seed=1)
+        deg = g.out_degree()
+        interior = deg[30:-30]
+        assert interior.std() < 1e-9  # interior vertices all identical
+
+    def test_connected(self):
+        assert reachable_fraction(fem_mesh(600, band=12, stride=3)) == 1.0
+
+    def test_mid_diameter(self):
+        g = fem_mesh(4000, band=40, stride=2, seed=1)
+        d = pseudo_diameter(g)
+        assert 50 < d < 500
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphConstructionError):
+            fem_mesh(10, band=24)
+
+
+class TestCliqueChain:
+    def test_vertex_count(self):
+        assert clique_chain(5, 10).num_vertices == 50
+
+    def test_low_diameter(self):
+        g = clique_chain(8, 30, seed=1)
+        assert pseudo_diameter(g) <= 2 * 8 + 2
+
+    def test_dense_inside(self):
+        g = clique_chain(2, 20, seed=1)
+        # each clique contributes k*(k-1) directed edges plus 2 bridges
+        assert g.num_edges == 2 * (20 * 19) + 2
+
+    def test_connected(self):
+        assert reachable_fraction(clique_chain(6, 12)) == 1.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GraphConstructionError):
+            clique_chain(0, 5)
+        with pytest.raises(GraphConstructionError):
+            clique_chain(3, 1)

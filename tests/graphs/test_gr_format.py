@@ -1,0 +1,138 @@
+"""Round-trip and error-handling tests for the GR / DIMACS formats."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import grid_road, read_gr, rmat, write_gr
+from repro.graphs.gr_format import read_dimacs, write_dimacs
+
+
+def assert_same_graph(a, b):
+    assert np.array_equal(a.row_offsets, b.row_offsets)
+    assert np.array_equal(a.col_indices, b.col_indices)
+    assert np.array_equal(a.weights, b.weights)
+
+
+class TestGrRoundTrip:
+    def test_int_roundtrip(self, tmp_path, small_road):
+        p = tmp_path / "g.gr"
+        write_gr(small_road, p)
+        assert_same_graph(small_road, read_gr(p))
+
+    def test_float_roundtrip(self, tmp_path, small_road):
+        p = tmp_path / "g.gr"
+        f = small_road.as_float()
+        write_gr(f, p)
+        g = read_gr(p, float_weights=True)
+        assert g.weights.dtype == np.float32
+        assert_same_graph(f, g)
+
+    def test_odd_edge_count_padding(self, tmp_path, tiny_graph):
+        assert tiny_graph.num_edges % 2 == 1
+        p = tmp_path / "odd.gr"
+        write_gr(tiny_graph, p)
+        assert_same_graph(tiny_graph, read_gr(p))
+        # header(32) + outIdx(3*8) + outs(3*4) + pad(4) + weights(3*4)
+        assert p.stat().st_size == 32 + 24 + 12 + 4 + 12
+
+    def test_even_edge_count_no_padding(self, tmp_path):
+        from repro.graphs import from_edge_list
+
+        g = from_edge_list(2, [(0, 1, 3), (1, 0, 4)])
+        p = tmp_path / "even.gr"
+        write_gr(g, p)
+        assert p.stat().st_size == 32 + 16 + 8 + 8
+        assert_same_graph(g, read_gr(p))
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        from repro.graphs import from_edge_list
+
+        g = from_edge_list(4, [])
+        p = tmp_path / "empty.gr"
+        write_gr(g, p)
+        g2 = read_gr(p)
+        assert g2.num_vertices == 4
+        assert g2.num_edges == 0
+
+    def test_name_defaults_to_stem(self, tmp_path, small_road):
+        p = tmp_path / "myroad.gr"
+        write_gr(small_road, p)
+        assert read_gr(p).name == "myroad"
+
+    def test_rmat_roundtrip(self, tmp_path, small_rmat):
+        p = tmp_path / "r.gr"
+        write_gr(small_rmat, p)
+        assert_same_graph(small_rmat, read_gr(p))
+
+
+class TestGrErrors:
+    def test_truncated_header(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(b"\x01\x00")
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_gr(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(struct.pack("<QQQQ", 9, 4, 0, 0))
+        with pytest.raises(GraphFormatError, match="version"):
+            read_gr(p)
+
+    def test_bad_edge_data_size(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(struct.pack("<QQQQ", 1, 16, 0, 0))
+        with pytest.raises(GraphFormatError, match="edge data size"):
+            read_gr(p)
+
+    def test_truncated_body(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_bytes(struct.pack("<QQQQ", 1, 4, 100, 500))
+        with pytest.raises(GraphFormatError, match="too short"):
+            read_gr(p)
+
+    def test_corrupt_out_idx(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        body = struct.pack("<QQQQ", 1, 4, 2, 2)
+        body += struct.pack("<QQ", 5, 2)  # decreasing / wrong total
+        body += struct.pack("<II", 0, 1)
+        body += struct.pack("<II", 1, 1)
+        p.write_bytes(body)
+        with pytest.raises(GraphFormatError, match="out_idx"):
+            read_gr(p)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        p = tmp_path / "g.dimacs"
+        write_dimacs(tiny_graph, p)
+        g = read_dimacs(p)
+        assert sorted(g.edges()) == sorted(tiny_graph.edges())
+
+    def test_read_from_stream(self):
+        text = "c comment\np sp 3 2\na 1 2 5\na 2 3 7\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert sorted(g.edges()) == [(0, 1, 5), (1, 2, 7)]
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError, match="problem line"):
+            read_dimacs(io.StringIO("a 1 2 5\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2\n"))
+
+    def test_bad_arc_line(self):
+        with pytest.raises(GraphFormatError, match="bad arc"):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_float_weights(self):
+        text = "p sp 2 1\na 1 2 2.5\n"
+        g = read_dimacs(io.StringIO(text), dtype="float32")
+        assert g.weights[0] == pytest.approx(2.5)

@@ -1,0 +1,105 @@
+"""Tests for graph metrics (BFS levels, pseudo-diameter, Table 2 bins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import compute_stats, grid_road, pseudo_diameter, reachable_fraction
+from repro.graphs.metrics import (
+    DEGREE_BINS,
+    DIAMETER_BINS,
+    bfs_levels,
+    degree_bin,
+    diameter_bin,
+)
+
+
+class TestBfsLevels:
+    def test_line_graph_levels(self, line_graph):
+        assert bfs_levels(line_graph, 0).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_marked(self, disconnected_graph):
+        lv = bfs_levels(disconnected_graph, 0)
+        assert lv.tolist()[:3] == [0, 1, 2]
+        assert lv[3] == -1 and lv[4] == -1
+
+    def test_source_level_zero(self, small_road):
+        assert bfs_levels(small_road, 7)[7] == 0
+
+    def test_grid_levels_are_manhattan(self):
+        g = grid_road(5, 5, seed=1)
+        lv = bfs_levels(g, 0)
+        # hop distance on a 4-connected grid == Manhattan distance
+        for v in range(25):
+            assert lv[v] == (v % 5) + (v // 5)
+
+
+class TestPseudoDiameter:
+    def test_line_graph(self, line_graph):
+        assert pseudo_diameter(line_graph, 0) == 5
+
+    def test_grid_exact(self):
+        # double sweep finds the corner-to-corner path on a grid
+        assert pseudo_diameter(grid_road(10, 7), 0) == 9 + 6
+
+    def test_lower_bound_property(self, small_gnm):
+        # pseudo-diameter from more sweeps can only grow
+        d2 = pseudo_diameter(small_gnm, 0, sweeps=2)
+        d4 = pseudo_diameter(small_gnm, 0, sweeps=4)
+        assert d4 >= d2
+
+    def test_single_vertex(self):
+        from repro.graphs import from_edge_list
+
+        g = from_edge_list(1, [])
+        assert pseudo_diameter(g, 0) == 0
+
+
+class TestReachableFraction:
+    def test_connected_graph(self, small_road):
+        assert reachable_fraction(small_road) == 1.0
+
+    def test_disconnected(self, disconnected_graph):
+        assert reachable_fraction(disconnected_graph, 0) == pytest.approx(3 / 5)
+
+    def test_source_matters(self, disconnected_graph):
+        assert reachable_fraction(disconnected_graph, 3) == pytest.approx(2 / 5)
+
+
+class TestBins:
+    def test_degree_bins_match_table2(self):
+        assert degree_bin(2.0) == "<4"
+        assert degree_bin(4.0) == "4-8"
+        assert degree_bin(7.9) == "4-8"
+        assert degree_bin(16.0) == "8-32"
+        assert degree_bin(40.0) == "32-64"
+        assert degree_bin(64.0) == ">=64"
+        assert degree_bin(500.0) == ">=64"
+
+    def test_diameter_bins_match_table2(self):
+        assert diameter_bin(10) == "<40"
+        assert diameter_bin(40) == "40-320"
+        assert diameter_bin(319) == "40-320"
+        assert diameter_bin(320) == "320-640"
+        assert diameter_bin(640) == ">=640"
+
+    def test_bin_edges_are_the_papers(self):
+        assert DEGREE_BINS == (4.0, 8.0, 32.0, 64.0)
+        assert DIAMETER_BINS == (40.0, 320.0, 640.0)
+
+
+class TestComputeStats:
+    def test_stats_fields(self, small_road):
+        st = compute_stats(small_road)
+        assert st.num_vertices == small_road.num_vertices
+        assert st.num_edges == small_road.num_edges
+        assert st.avg_degree == pytest.approx(small_road.average_degree())
+        assert st.max_degree == int(small_road.out_degree().max())
+        assert st.reachable == 1.0
+        assert st.diameter >= 16 + 12 - 2
+
+    def test_bin_labels(self, small_road):
+        st = compute_stats(small_road)
+        assert st.degree_bin_label() == "<4"
+        assert st.diameter_bin_label() == "<40" or st.diameter_bin_label() == "40-320"

@@ -1,0 +1,101 @@
+"""Tests for the benchmark corpus builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import build_suite, named_graph, reachable_fraction
+from repro.graphs.metrics import compute_stats
+from repro.graphs.suite import NAMED_STANDINS
+
+
+class TestBuildSuite:
+    def test_default_size(self):
+        suite = build_suite()
+        assert len(suite) >= 40
+
+    def test_lazy_and_cached(self):
+        e = build_suite()[0]
+        g1 = e.graph()
+        assert e.graph() is g1  # cached
+
+    def test_graph_named_after_entry(self):
+        e = build_suite()[0]
+        assert e.graph().name == e.name
+
+    def test_unique_names(self):
+        names = [e.name for e in build_suite()]
+        assert len(names) == len(set(names))
+
+    def test_category_filter(self):
+        suite = build_suite(categories=["road"])
+        assert suite
+        assert all(e.category == "road" for e in suite)
+
+    def test_max_graphs(self):
+        assert len(build_suite(max_graphs=5)) == 5
+
+    def test_exclude_named(self):
+        suite = build_suite(include_named=False)
+        names = {e.name for e in suite}
+        assert not names.intersection(NAMED_STANDINS)
+
+    def test_exclude_float(self):
+        suite = build_suite(include_float=False)
+        assert all(e.category != "float" for e in suite)
+
+    def test_scale_grows_graphs(self):
+        small = build_suite(scale=0.25, categories=["road"])[0].graph()
+        big = build_suite(scale=1.0, categories=["road"])[0].graph()
+        assert big.num_vertices > small.num_vertices
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphConstructionError):
+            build_suite(scale=0)
+
+    def test_float_entries_are_float(self):
+        suite = build_suite(categories=["float"])
+        for e in suite:
+            assert not e.graph().is_integer_weighted
+
+    def test_covers_table2_degree_spread(self):
+        """The corpus must span low and high degree bins like Table 2."""
+        suite = build_suite(include_float=False, include_named=False)
+        labels = set()
+        for e in suite:
+            g = e.graph()
+            labels.add(compute_stats(g).degree_bin_label())
+        assert "<4" in labels
+        assert any(l in labels for l in ("32-64", ">=64"))
+        assert len(labels) >= 3
+
+
+class TestNamedGraphs:
+    @pytest.mark.parametrize("name", NAMED_STANDINS)
+    def test_named_graphs_build_and_reach(self, name):
+        g = named_graph(name)
+        assert g.name == name
+        assert g.num_vertices > 500
+        # the paper's selection criterion
+        assert reachable_fraction(g, 0) >= 0.75
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphConstructionError):
+            named_graph("no-such-graph")
+
+    def test_road_standin_has_high_diameter_low_degree(self):
+        st = compute_stats(named_graph("road-usa-mini"))
+        assert st.avg_degree < 4.5
+        assert st.diameter > 100
+
+    def test_rmat_standin_is_power_law(self):
+        g = named_graph("rmat22-mini")
+        deg = g.out_degree()
+        assert int(deg.max()) > 20 * max(1.0, float(deg.mean()))
+
+    def test_cbig_standin_is_shallow(self):
+        from repro.graphs import pseudo_diameter
+
+        g = named_graph("c-big-mini")
+        assert pseudo_diameter(g) < 60

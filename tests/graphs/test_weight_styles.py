@@ -1,0 +1,71 @@
+"""Tests for the weight-distribution styles (uniform vs heavy-tailed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs import clique_chain, fem_mesh, random_gnm, rmat
+
+HEAVY_FACTORIES = [
+    lambda: fem_mesh(600, band=12, stride=3, max_weight=65535,
+                     weight_style="heavy", seed=5),
+    lambda: clique_chain(5, 15, max_weight=65535, weight_style="heavy", seed=5),
+    lambda: random_gnm(500, 2000, max_weight=65535, weight_style="heavy", seed=5),
+    lambda: rmat(9, max_weight=65535, weight_style="heavy", seed=5),
+]
+
+
+class TestHeavyTails:
+    @pytest.mark.parametrize("factory", HEAVY_FACTORIES,
+                             ids=["mesh", "clique", "gnm", "rmat"])
+    def test_mean_far_above_median(self, factory):
+        """The property the Δ-heuristic analysis needs: a tail-dominated
+        average (DESIGN.md / Figure 4 regime)."""
+        g = factory()
+        w = g.weights.astype(np.float64)
+        assert w.mean() > 8 * np.median(w)
+
+    @pytest.mark.parametrize("factory", HEAVY_FACTORIES,
+                             ids=["mesh", "clique", "gnm", "rmat"])
+    def test_weights_in_range(self, factory):
+        g = factory()
+        assert int(g.weights.min()) >= 1
+        assert int(g.weights.max()) <= 65535
+
+    def test_median_stays_small(self):
+        g = fem_mesh(600, band=12, stride=3, max_weight=65535,
+                     weight_style="heavy", seed=1)
+        assert np.median(g.weights) <= 10  # lognormal median ~4
+
+    def test_deterministic(self):
+        a = fem_mesh(300, band=12, stride=3, weight_style="heavy", seed=9)
+        b = fem_mesh(300, band=12, stride=3, weight_style="heavy", seed=9)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(GraphConstructionError, match="weight style"):
+            fem_mesh(300, band=12, stride=3, weight_style="pareto")
+
+    def test_uniform_vs_heavy_differ(self):
+        u = random_gnm(400, 1600, max_weight=65535, seed=3)
+        h = random_gnm(400, 1600, max_weight=65535, weight_style="heavy", seed=3)
+        assert not np.array_equal(u.weights, h.weights)
+        assert np.median(h.weights) < np.median(u.weights)
+
+
+class TestSuiteSkewCategory:
+    def test_skew_entries_present(self):
+        from repro.graphs import build_suite
+
+        skew = build_suite(categories=["skew"])
+        assert len(skew) >= 4
+
+    def test_skew_entries_are_heavy(self):
+        from repro.graphs import build_suite
+
+        for e in build_suite(categories=["skew"])[:3]:
+            g = e.graph()
+            w = g.weights.astype(np.float64)
+            assert w.mean() > 5 * np.median(w), e.name

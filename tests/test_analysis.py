@@ -1,0 +1,168 @@
+"""Tests for distribution binning, efficiency regions, and rendering."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SPEEDUP_BINS,
+    WORK_BINS,
+    ascii_scatter,
+    ascii_series,
+    bin_ratios,
+    classify_region,
+    efficiency_points,
+    format_distribution_table,
+    format_table,
+    geometric_mean,
+)
+from repro.baselines.common import SSSPResult
+
+
+def result(name="g", work=10, time=100.0, solver="x"):
+    return SSSPResult(
+        solver=solver,
+        graph_name=name,
+        source=0,
+        dist=np.array([0.0]),
+        work_count=work,
+        time_us=time,
+    )
+
+
+class TestBins:
+    def test_speedup_bins_match_table3(self):
+        labels = [lab for _, _, lab in SPEEDUP_BINS]
+        assert labels == [
+            "<0.9x", "0.9x-1.1x", "1.1x-1.5x", "1.5x-2x", "2x-3x", "3x-5x", ">=5x",
+        ]
+
+    def test_work_bins_match_table4(self):
+        labels = [lab for _, _, lab in WORK_BINS]
+        assert labels == [
+            "<0.25x", "0.25x-0.5x", "0.5x-0.75x", "0.75x-1x", "1x-1.5x",
+            "1.5x-3x", ">3x",
+        ]
+
+    def test_binning_right_open(self):
+        d = bin_ratios([0.9, 1.1, 1.5, 2.0, 3.0, 5.0])
+        assert d.count("<0.9x") == 0
+        assert d.count("0.9x-1.1x") == 1
+        assert d.count("1.1x-1.5x") == 1
+        assert d.count(">=5x") == 1
+
+    def test_counts_sum_to_total(self):
+        vals = [0.1, 0.95, 1.2, 1.7, 2.5, 4.0, 100.0]
+        d = bin_ratios(vals)
+        assert sum(d.counts) == d.total == len(vals)
+
+    def test_fraction_at_least(self):
+        d = bin_ratios([1.0, 1.5, 2.0, 10.0])
+        assert d.fraction_at_least(1.5) == pytest.approx(0.75)
+
+    def test_means(self):
+        d = bin_ratios([1.0, 4.0])
+        assert d.arithmetic_mean == pytest.approx(2.5)
+        assert d.geomean == pytest.approx(2.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            bin_ratios([float("nan")])
+        with pytest.raises(ValueError):
+            bin_ratios([-1.0])
+
+    def test_row_cells_format(self):
+        d = bin_ratios([2.5, 2.6, 4.0], label="NF")
+        cells = d.row_cells()
+        assert cells[4] == "2 (67%)"
+        assert cells[5] == "1 (33%)"
+
+    def test_unknown_bin_label(self):
+        with pytest.raises(KeyError):
+            bin_ratios([1.0]).count("7x-9x")
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestEfficiency:
+    def test_region_classification(self):
+        assert classify_region(1.0, 3.0) == "parallelism"  # road-USA-like
+        assert classify_region(2.0, 2.1) == "work"  # rmat22-like
+        assert classify_region(3.35, 1.6) == "underparallel"  # c-big-like
+
+    def test_paper_examples(self):
+        """Figures 11-15's (s, w) pairs must land in the regions §6.4 names."""
+        assert classify_region(0.19, 3.09) == "parallelism"  # A.road-USA
+        assert classify_region(2.12, 4.0) == "parallelism"  # B.BenElechi1 (both)
+        assert classify_region(2.18, 2.29) == "work"  # D.rmat22
+        assert classify_region(3.35, 1.6) == "underparallel"  # E.c-big
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            classify_region(0.0, 1.0)
+
+    def test_efficiency_points_from_results(self):
+        adds = result("g1", work=100, time=50.0, solver="adds")
+        nf = result("g1", work=200, time=200.0, solver="nf")
+        (pt,) = efficiency_points([(adds, nf)])
+        assert pt.work_gain == pytest.approx(2.0)
+        assert pt.speedup == pytest.approx(4.0)
+        assert pt.region == "parallelism"
+
+    def test_mismatched_pair_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency_points([(result("a"), result("b"))])
+
+    def test_non_result_rejected(self):
+        with pytest.raises(TypeError):
+            efficiency_points([(result("a"), "nope")])
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "x"], [["aa", 1], ["b", 22]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("----")
+
+    def test_distribution_table(self):
+        d1 = bin_ratios([2.5], label="NF")
+        d2 = bin_ratios([0.5], label="NV")
+        out = format_distribution_table([d1, d2], title="Table 3")
+        assert "NF" in out and "NV" in out and "2x-3x" in out
+
+    def test_distribution_table_requires_same_bins(self):
+        a = bin_ratios([1.0])
+        b = bin_ratios([1.0], bins=WORK_BINS)
+        with pytest.raises(ValueError):
+            format_distribution_table([a, b])
+
+    def test_ascii_scatter_renders_points(self):
+        out = ascii_scatter([1, 10, 100], [1, 2, 3], log_x=True, title="fig")
+        assert out.startswith("fig")
+        assert out.count("*") == 3
+
+    def test_ascii_scatter_labels(self):
+        out = ascii_scatter([1, 2], [1, 2], labels=["A.road", "B.mesh"])
+        assert "A" in out and "B" in out
+
+    def test_ascii_scatter_validates(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1, 2])
+
+    def test_ascii_series_renders_legend(self):
+        out = ascii_series(
+            {"adds": [(0, 10), (5, 0)], "nf": [(0, 5), (9, 1)]}, title="t"
+        )
+        assert "a = adds" in out and "n = nf" in out
+
+    def test_ascii_series_log_scale(self):
+        out = ascii_series({"x": [(0, 1), (1, 1000)]}, log_y=True)
+        assert "|" in out

@@ -1,0 +1,91 @@
+"""Tests for the run_all-style experiment driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs import build_suite
+from repro.graphs.suite import SuiteEntry
+from repro.graphs.generators import grid_road
+from repro.harness import run_suite, write_result_files
+
+
+@pytest.fixture
+def tiny_suite():
+    return [
+        SuiteEntry(name="r1", category="road", factory=lambda: grid_road(8, 6, seed=1)),
+        SuiteEntry(name="r2", category="road", factory=lambda: grid_road(10, 5, seed=2)),
+    ]
+
+
+class TestRunSuite:
+    def test_records_per_graph(self, tiny_suite):
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        assert len(run.records) == 2
+        assert set(run.records[0].results) == {"adds", "nf"}
+
+    def test_verification_clean(self, tiny_suite):
+        run = run_suite(solvers=("adds", "nf", "dijkstra"), suite=tiny_suite)
+        assert run.verification_failures == []
+
+    def test_unknown_solver_fails_fast(self, tiny_suite):
+        with pytest.raises(SolverError):
+            run_suite(solvers=("quantum",), suite=tiny_suite)
+
+    def test_speedups_and_distribution(self, tiny_suite):
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        sp = run.speedups("adds", "nf")
+        assert len(sp) == 2 and all(s > 0 for s in sp)
+        dist = run.speedup_distribution("adds", "nf")
+        assert dist.total == 2
+
+    def test_work_ratio_convention(self, tiny_suite):
+        """Table 4 reports ADDS's vertex count normalized to the baseline:
+        a value < 1 means ADDS processed fewer vertices."""
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        (rec,) = run.records[:1]
+        expected = (
+            rec.results["adds"].work_count / rec.results["nf"].work_count
+        )
+        assert run.work_ratios("adds", "nf")[0] == pytest.approx(expected)
+
+    def test_solver_options_forwarded(self, tiny_suite):
+        from repro.core import AddsConfig
+
+        run = run_suite(
+            solvers=("adds",),
+            suite=tiny_suite,
+            solver_options={"adds": {"config": AddsConfig(n_wtbs=2)}},
+        )
+        assert run.records[0].results["adds"].stats["n_wtbs"] == 2
+
+    def test_progress_callback(self, tiny_suite):
+        seen = []
+        run_suite(solvers=("nf",), suite=tiny_suite, progress=seen.append)
+        assert len(seen) == 2
+
+    def test_by_category(self, tiny_suite):
+        run = run_suite(solvers=("nf",), suite=tiny_suite)
+        assert set(run.by_category()) == {"road"}
+
+    def test_ratio_unknown_metric(self, tiny_suite):
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        with pytest.raises(SolverError):
+            run.records[0].ratio("energy", "adds", "nf")
+
+    def test_default_suite_is_corpus(self):
+        assert len(build_suite()) >= 40  # run_suite defaults to this
+
+
+class TestResultFiles:
+    def test_artifact_format(self, tiny_suite, tmp_path):
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        paths = write_result_files(run, tmp_path)
+        assert sorted(p.name for p in paths) == ["adds_result", "nf_result"]
+        lines = (tmp_path / "adds_result").read_text().strip().split("\n")
+        assert len(lines) == 2
+        name, t, w = lines[0].split()
+        assert name == "r1"
+        assert float(t) > 0 and int(w) > 0

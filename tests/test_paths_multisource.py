@@ -1,0 +1,152 @@
+"""Tests for shortest-path trees (predecessors) and multi-source SSSP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    solve_cpu_ds,
+    solve_dijkstra,
+    solve_gun_bf,
+    solve_gun_nf,
+    solve_nf,
+    solve_nv,
+)
+from repro.core import solve_adds
+from repro.errors import SolverError
+from repro.graphs import from_edge_list
+
+TREE_SOLVERS = [
+    solve_dijkstra,
+    solve_cpu_ds,
+    solve_nf,
+    solve_gun_nf,
+    solve_gun_bf,
+    solve_nv,
+    solve_adds,
+]
+
+
+def path_length(graph, path):
+    """Sum of edge weights along an explicit path (validates edges exist)."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        dsts, ws = graph.neighbors(u)
+        hits = np.flatnonzero(dsts == v)
+        assert hits.size, f"path uses missing edge {u}->{v}"
+        total += float(ws[hits].min())
+    return total
+
+
+class TestPredecessorTree:
+    @pytest.mark.parametrize("solver", TREE_SOLVERS, ids=lambda f: f.__name__)
+    def test_tree_consistent_with_distances(self, solver, small_road):
+        r = solver(small_road, 0)
+        assert r.predecessors is not None
+        pred = r.predecessors
+        for v in range(small_road.num_vertices):
+            if v == 0 or not np.isfinite(r.dist[v]):
+                continue
+            p = int(pred[v])
+            assert p >= 0, f"reached vertex {v} lacks a predecessor"
+            # dist[v] == dist[p] + w(p, v) for some edge p->v
+            dsts, ws = small_road.neighbors(p)
+            hits = np.flatnonzero(dsts == v)
+            assert hits.size
+            assert r.dist[v] == pytest.approx(
+                r.dist[p] + float(ws[hits].min()), rel=1e-3, abs=1e-3
+            )
+
+    @pytest.mark.parametrize("solver", TREE_SOLVERS, ids=lambda f: f.__name__)
+    def test_path_to_reconstructs_shortest_path(self, solver, small_road, oracle):
+        r = solver(small_road, 0)
+        ref = oracle(small_road, 0)
+        for target in (1, 50, small_road.num_vertices - 1):
+            path = r.path_to(target)
+            assert path[0] == 0 and path[-1] == target
+            tol = 1.0 if solver is solve_nv else 1e-6
+            assert path_length(small_road, path) == pytest.approx(
+                ref[target], abs=tol
+            )
+
+    def test_path_to_source_itself(self, small_road):
+        r = solve_dijkstra(small_road, 0)
+        assert r.path_to(0) == [0]
+
+    def test_path_to_unreachable_is_none(self, disconnected_graph):
+        r = solve_dijkstra(disconnected_graph, 0)
+        assert r.path_to(4) is None
+
+    def test_path_to_out_of_range(self, small_road):
+        r = solve_dijkstra(small_road, 0)
+        with pytest.raises(SolverError):
+            r.path_to(10**9)
+
+    def test_path_to_without_tree_raises(self, small_road):
+        from repro.baselines.common import SSSPResult
+
+        r = SSSPResult(
+            solver="x", graph_name="g", source=0,
+            dist=np.zeros(3), work_count=1, time_us=1.0,
+        )
+        with pytest.raises(SolverError, match="no predecessor"):
+            r.path_to(1)
+
+    def test_corrupted_tree_detected(self, small_road):
+        r = solve_dijkstra(small_road, 0)
+        r.predecessors[5] = 5  # self-loop: walk can never terminate
+        r.dist[5] = 1.0
+        with pytest.raises(SolverError, match="inconsistent"):
+            r.path_to(5)
+
+
+class TestMultiSource:
+    @pytest.mark.parametrize("solver", TREE_SOLVERS, ids=lambda f: f.__name__)
+    def test_distances_are_min_over_sources(self, solver, small_road, oracle):
+        sources = [0, 37, 150]
+        r = solver(small_road, 0, sources=sources)
+        expect = np.minimum.reduce([oracle(small_road, s) for s in sources])
+        tol = 1.0 if solver is solve_nv else 1e-6
+        np.testing.assert_allclose(
+            np.nan_to_num(r.dist, posinf=-1),
+            np.nan_to_num(expect, posinf=-1),
+            atol=tol,
+        )
+
+    def test_every_source_at_distance_zero(self, small_road):
+        r = solve_adds(small_road, 0, sources=[0, 5, 9])
+        assert r.dist[[0, 5, 9]].tolist() == [0.0, 0.0, 0.0]
+
+    def test_paths_root_at_nearest_source(self, small_road):
+        sources = [0, small_road.num_vertices - 1]
+        r = solve_dijkstra(small_road, 0, sources=sources)
+        for target in (3, small_road.num_vertices - 3):
+            path = r.path_to(target)
+            assert path[0] in sources
+            assert path[-1] == target
+
+    def test_duplicate_sources_collapsed(self, small_road, oracle):
+        r = solve_nf(small_road, 0, sources=[0, 0, 0])
+        np.testing.assert_allclose(
+            np.nan_to_num(r.dist, posinf=-1),
+            np.nan_to_num(oracle(small_road, 0), posinf=-1),
+        )
+
+    def test_primary_must_be_in_sources(self, small_road):
+        with pytest.raises(SolverError, match="primary"):
+            solve_dijkstra(small_road, 0, sources=[1, 2])
+
+    def test_empty_sources_rejected(self, small_road):
+        with pytest.raises(SolverError):
+            solve_dijkstra(small_road, 0, sources=[])
+
+    def test_out_of_range_source_rejected(self, small_road):
+        with pytest.raises(SolverError):
+            solve_adds(small_road, 0, sources=[0, 10**7])
+
+    def test_multi_source_work_not_more_than_sum(self, small_mesh):
+        """Sharing one pass over the graph beats solving per source."""
+        multi = solve_dijkstra(small_mesh, 0, sources=[0, 400])
+        single = solve_dijkstra(small_mesh, 0)
+        assert multi.work_count <= 2 * single.work_count
