@@ -20,6 +20,7 @@ from repro.baselines.common import (
     init_tree,
     register_solver,
     resolve_sources,
+    solver_metrics,
 )
 from repro.gpu.costmodel import CostModel
 from repro.gpu.kernels import BspMachine
@@ -27,6 +28,7 @@ from repro.gpu.memory import SimMemory
 from repro.calibration import resolve_device
 from repro.gpu.specs import DeviceSpec
 from repro.graphs.csr import CSRGraph, expand_frontier
+from repro.trace.tracer import Tracer
 
 __all__ = ["solve_gun_bf", "bellman_ford_frontier"]
 
@@ -68,6 +70,14 @@ def bellman_ford_frontier(
         )
         frontier = np.unique(dsts[winners].astype(np.int64))
 
+    metrics = solver_metrics(
+        atomics=mem.stats.atomics,
+        fences=mem.stats.fences,
+        kernel_launches=machine.kernel_launches,
+        work_count=work,
+    )
+    metrics.counter("supersteps").inc(supersteps)
+    metrics.counter("timeline_clamps").inc(machine.timeline.clamps)
     return SSSPResult(
         solver=solver_name,
         graph_name=graph.name,
@@ -77,10 +87,8 @@ def bellman_ford_frontier(
         work_count=work,
         time_us=machine.elapsed_us,
         timeline=machine.timeline,
-        stats={
-            "supersteps": supersteps,
-            "atomics": mem.stats.atomics,
-        },
+        metrics=metrics,
+        stats=metrics.snapshot(),
     )
 
 
@@ -92,11 +100,13 @@ def solve_gun_bf(
     sources: Optional[Sequence[int]] = None,
     spec: Optional[DeviceSpec] = None,
     cost: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SSSPResult:
     """Gunrock 1.0 Bellman-Ford on the simulated GPU."""
     spec, cost = resolve_device(spec, cost)
     machine = BspMachine(
-        spec, cost, label="gun-bf", overhead_multiplier=GUNROCK_OVERHEAD
+        spec, cost, label="gun-bf", overhead_multiplier=GUNROCK_OVERHEAD,
+        tracer=tracer,
     )
     return bellman_ford_frontier(
         graph, source, machine, solver_name="gun-bf", sources=sources

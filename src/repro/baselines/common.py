@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.gpu.timeline import Timeline
+from repro.trace.metrics import MetricsRegistry, UNIFORM_SOLVER_KEYS
 
 __all__ = [
     "SSSPResult",
@@ -25,6 +26,7 @@ __all__ = [
     "init_distances",
     "init_tree",
     "resolve_sources",
+    "solver_metrics",
 ]
 
 
@@ -52,6 +54,13 @@ class SSSPResult:
         time.
     stats:
         Solver-specific extras (supersteps, final Δ, pool high-water, …).
+        Numeric entries come from :attr:`metrics`; every solver reports
+        at least the uniform key set
+        :data:`~repro.trace.metrics.UNIFORM_SOLVER_KEYS`.
+    metrics:
+        The :class:`~repro.trace.MetricsRegistry` the solver populated
+        (typed counters/gauges/histograms behind the flat ``stats``
+        view); None for results built without one.
     """
 
     solver: str
@@ -62,6 +71,7 @@ class SSSPResult:
     time_us: float
     timeline: Timeline = field(repr=False, default_factory=Timeline)
     stats: Dict[str, object] = field(default_factory=dict)
+    metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
     #: shortest-path tree: predecessors[v] is the vertex preceding v on a
     #: shortest path from the source (-1 for the source itself and for
     #: unreachable vertices).  None if the solver did not track it.
@@ -80,6 +90,29 @@ class SSSPResult:
         """The artifact's ``graph_name run_time work_count`` line
         (run time in seconds, as in the artifact)."""
         return f"{self.graph_name} {self.time_us / 1e6:.9f} {self.work_count}"
+
+    def to_json_dict(self, *, include_dist: bool = False) -> Dict[str, object]:
+        """A JSON-native dict of the run (the CLI ``--json`` payload).
+
+        Distances are omitted by default (``--dist-out`` serves bulk
+        output); ``include_dist=True`` inlines them with ``inf`` encoded
+        as None, keeping the payload valid strict JSON.
+        """
+        out: Dict[str, object] = {
+            "solver": self.solver,
+            "graph": self.graph_name,
+            "source": int(self.source),
+            "n_vertices": int(self.dist.size),
+            "reached": self.reached(),
+            "time_us": float(self.time_us),
+            "work_count": int(self.work_count),
+            "stats": _json_safe(self.stats),
+        }
+        if include_dist:
+            out["dist"] = [
+                float(d) if np.isfinite(d) else None for d in self.dist
+            ]
+        return out
 
     def path_to(self, target: int):
         """The shortest path ``[source, ..., target]`` from the tree.
@@ -111,6 +144,40 @@ class SSSPResult:
             f"predecessor tree of {self.solver} on {self.graph_name} is "
             f"inconsistent at vertex {target}"
         )
+
+
+def _json_safe(v):
+    """Recursively coerce numpy scalars/arrays and non-finite floats to
+    JSON-native values (non-finite floats become None)."""
+    if isinstance(v, dict):
+        return {str(k): _json_safe(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_json_safe(x) for x in v]
+    if isinstance(v, np.ndarray):
+        return [_json_safe(x) for x in v.tolist()]
+    if hasattr(v, "item"):
+        v = v.item()
+    if isinstance(v, float) and not np.isfinite(v):
+        return None
+    return v
+
+
+def solver_metrics(
+    *,
+    atomics: int = 0,
+    fences: int = 0,
+    kernel_launches: int = 0,
+    work_count: int = 0,
+) -> MetricsRegistry:
+    """A registry pre-populated with the uniform solver key set
+    (:data:`~repro.trace.metrics.UNIFORM_SOLVER_KEYS`), so every solver
+    reports the same comparison vocabulary."""
+    reg = MetricsRegistry()
+    for key, value in zip(
+        UNIFORM_SOLVER_KEYS, (atomics, fences, kernel_launches, work_count)
+    ):
+        reg.counter(key).inc(value)
+    return reg
 
 
 #: Registry mapping solver name -> solve(graph, source, **opts) callable.

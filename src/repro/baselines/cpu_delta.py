@@ -27,6 +27,7 @@ from repro.baselines.common import (
     init_tree,
     register_solver,
     resolve_sources,
+    solver_metrics,
 )
 from repro.baselines.heuristics import davidson_delta
 from repro.errors import SolverError
@@ -103,6 +104,12 @@ def solve_cpu_ds(
                 buckets[int(b)].extend(sel.tolist())
             pending = np.unique(same)
 
+    # multicore CPU: atomic relaxations but no kernel launches
+    metrics = solver_metrics(
+        atomics=mem.stats.atomics, fences=mem.stats.fences, work_count=work
+    )
+    metrics.counter("rounds").inc(rounds)
+    metrics.set("delta", delta)
     return SSSPResult(
         solver="cpu-ds",
         graph_name=graph.name,
@@ -112,5 +119,6 @@ def solve_cpu_ds(
         work_count=work,
         time_us=time_us,
         timeline=tl,
-        stats={"rounds": rounds, "delta": delta, "atomics": mem.stats.atomics},
+        metrics=metrics,
+        stats=metrics.snapshot(),
     )

@@ -22,6 +22,7 @@ from repro.baselines.common import (
     init_tree,
     register_solver,
     resolve_sources,
+    solver_metrics,
 )
 from repro.gpu.costmodel import CpuCostModel
 from repro.gpu.specs import CPU_I9_7900X, CpuSpec
@@ -80,6 +81,11 @@ def solve_dijkstra(
     tl = Timeline(label="dijkstra")
     tl.record(0.0, 1.0)
     tl.record(time_us, 0.0)
+    # serial CPU code: no atomics, no fences, no kernels
+    metrics = solver_metrics(work_count=expanded)
+    metrics.counter("heap_ops").inc(heap_ops)
+    metrics.counter("stale_pops").inc(pops - expanded)
+    metrics.counter("edges_relaxed").inc(edges_relaxed)
     return SSSPResult(
         solver="dijkstra",
         graph_name=graph.name,
@@ -89,9 +95,6 @@ def solve_dijkstra(
         work_count=expanded,
         time_us=time_us,
         timeline=tl,
-        stats={
-            "heap_ops": heap_ops,
-            "stale_pops": pops - expanded,
-            "edges_relaxed": edges_relaxed,
-        },
+        metrics=metrics,
+        stats=metrics.snapshot(),
     )

@@ -33,6 +33,7 @@ from repro.baselines.common import (
     init_tree,
     register_solver,
     resolve_sources,
+    solver_metrics,
 )
 from repro.baselines.heuristics import davidson_delta
 from repro.errors import SolverError
@@ -42,6 +43,7 @@ from repro.gpu.memory import SimMemory
 from repro.calibration import resolve_device
 from repro.gpu.specs import DeviceSpec
 from repro.graphs.csr import CSRGraph, expand_frontier
+from repro.trace.tracer import Tracer
 
 __all__ = ["solve_nf", "solve_gun_nf", "near_far"]
 
@@ -131,6 +133,17 @@ def near_far(
         else:
             near = np.empty(0, dtype=np.int64)
 
+    metrics = solver_metrics(
+        atomics=mem.stats.atomics,
+        fences=mem.stats.fences,
+        kernel_launches=machine.kernel_launches,
+        work_count=work,
+    )
+    metrics.counter("supersteps").inc(machine.supersteps)
+    metrics.counter("far_splits").inc(far_splits)
+    metrics.counter("duplicates_filtered").inc(duplicates_filtered)
+    metrics.counter("timeline_clamps").inc(machine.timeline.clamps)
+    metrics.set("delta", delta)
     return SSSPResult(
         solver=solver_name,
         graph_name=graph.name,
@@ -140,13 +153,8 @@ def near_far(
         work_count=work,
         time_us=machine.elapsed_us,
         timeline=machine.timeline,
-        stats={
-            "supersteps": machine.supersteps,
-            "far_splits": far_splits,
-            "delta": delta,
-            "duplicates_filtered": duplicates_filtered,
-            "atomics": mem.stats.atomics,
-        },
+        metrics=metrics,
+        stats=metrics.snapshot(),
     )
 
 
@@ -159,6 +167,7 @@ def solve_nf(
     spec: Optional[DeviceSpec] = None,
     cost: Optional[CostModel] = None,
     delta: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SSSPResult:
     """LonestarGPU Near-Far: dedup filter on, lean kernels.
 
@@ -169,7 +178,7 @@ def solve_nf(
     a fixed small setup charge here.
     """
     spec, cost = resolve_device(spec, cost)
-    machine = BspMachine(spec, cost, label="nf")
+    machine = BspMachine(spec, cost, label="nf", tracer=tracer)
     machine.charge_us(2.0)  # profile kernel for the delta heuristic
     return near_far(
         graph, source, machine, delta=delta, dedup_filter=True,
@@ -186,11 +195,13 @@ def solve_gun_nf(
     spec: Optional[DeviceSpec] = None,
     cost: Optional[CostModel] = None,
     delta: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SSSPResult:
     """Gunrock 0.2 Near-Far: no dedup filter, heavier framework."""
     spec, cost = resolve_device(spec, cost)
     machine = BspMachine(
-        spec, cost, label="gun-nf", overhead_multiplier=GUN_NF_OVERHEAD
+        spec, cost, label="gun-nf", overhead_multiplier=GUN_NF_OVERHEAD,
+        tracer=tracer,
     )
     machine.charge_us(2.0)
     return near_far(

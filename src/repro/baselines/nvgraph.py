@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.baselines.bellman_ford import bellman_ford_frontier
 from repro.baselines.common import SSSPResult, register_solver
+from repro.trace.tracer import Tracer
 from repro.gpu.costmodel import CostModel
 from repro.gpu.kernels import BspMachine
 from repro.calibration import resolve_device
@@ -49,10 +50,13 @@ def solve_nv(
     sources: Optional[Sequence[int]] = None,
     spec: Optional[DeviceSpec] = None,
     cost: Optional[CostModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SSSPResult:
     """The nvGRAPH black-box stand-in."""
     spec, cost = resolve_device(spec, cost)
-    machine = BspMachine(spec, cost, label="nv", overhead_multiplier=NV_OVERHEAD)
+    machine = BspMachine(
+        spec, cost, label="nv", overhead_multiplier=NV_OVERHEAD, tracer=tracer
+    )
     machine.charge_us(NV_SETUP_US)
     # nvGRAPH computes in float32 regardless of the input weight type.
     fgraph = graph.as_float()

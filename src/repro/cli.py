@@ -6,8 +6,12 @@ Subcommands mirror how the paper's artifact is driven:
 - ``info``     — Table-2-style statistics for a graph file
 - ``solve``    — run one solver on one graph (the ``ads_int``-style binary)
 - ``suite``    — run solvers over the built-in corpus (``run_all.sh``)
+- ``trace``    — run one solver with tracing on; write Perfetto/CSV artifacts
 - ``verify``   — compare two ``*_final_dist`` files (``verify.py``)
 - ``convert``  — convert between text DIMACS and binary GR
+
+``solve`` and ``suite`` take ``--json`` for machine-readable output, so
+benchmark drivers and external tooling don't have to parse text tables.
 
 All commands are plain functions over argparse namespaces; ``main(argv)``
 returns a process exit code, so everything is unit-testable.
@@ -16,6 +20,7 @@ returns a process exit code, so everything is unit-testable.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -41,7 +46,12 @@ from repro.graphs import (
 from repro.graphs.gr_format import read_dimacs, write_dimacs
 from repro.graphs.metrics import compute_stats
 from repro.gpu.specs import RTX_2080TI, RTX_3090
-from repro.harness import run_suite, write_result_files
+from repro.harness import (
+    TRACEABLE_SOLVERS,
+    run_suite,
+    run_traced_solve,
+    write_result_files,
+)
 from repro.validation import verify_dist_files, write_dist_file
 
 __all__ = ["main", "build_parser"]
@@ -125,6 +135,18 @@ def cmd_solve(ns) -> int:
     if ns.sources:
         kwargs["sources"] = [int(s) for s in ns.sources.split(",")]
     result = solver(g, ns.source, **kwargs)
+    if ns.json:
+        payload = result.to_json_dict(include_dist=ns.json_dist)
+        if ns.path_to is not None:
+            path = result.path_to(ns.path_to)
+            payload["path_to"] = (
+                None if path is None else [int(v) for v in path]
+            )
+        if ns.dist_out:
+            write_dist_file(result, ns.dist_out)
+            payload["dist_file"] = str(ns.dist_out)
+        print(json.dumps(payload, indent=2))
+        return 0
     print(result.result_line())
     print(f"reached {result.reached()}/{g.num_vertices} vertices; "
           f"time {result.time_us:.1f} us; work {result.work_count}")
@@ -152,6 +174,43 @@ def cmd_suite(ns) -> int:
     progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if ns.verbose else None
     run = run_suite(solvers=solvers, suite=suite, spec=spec, cost=cost,
                     progress=progress)
+    if ns.json:
+        payload = {
+            "solvers": list(solvers),
+            "records": [
+                {
+                    "graph": rec.graph,
+                    "category": rec.category,
+                    "results": {
+                        name: {
+                            "time_us": float(r.time_us),
+                            "work_count": int(r.work_count),
+                            "reached": r.reached(),
+                        }
+                        for name, r in rec.results.items()
+                    },
+                }
+                for rec in run.records
+            ],
+            "verification_failures": list(run.verification_failures),
+        }
+        if len(solvers) > 1:
+            base = solvers[1]
+            speedups = run.speedups(solvers[0], base)
+            d = bin_ratios(speedups, label=base.upper())
+            payload["speedup"] = {
+                "solver": solvers[0],
+                "baseline": base,
+                "mean": d.arithmetic_mean,
+                "geomean": d.geomean,
+                "values": [float(s) for s in speedups],
+            }
+        if ns.out:
+            payload["result_files"] = [
+                str(p) for p in write_result_files(run, ns.out)
+            ]
+        print(json.dumps(payload, indent=2))
+        return 1 if run.verification_failures else 0
     for failure in run.verification_failures:
         print(f"VERIFY: {failure}", file=sys.stderr)
     if len(solvers) > 1:
@@ -167,6 +226,26 @@ def cmd_suite(ns) -> int:
         paths = write_result_files(run, ns.out)
         print(f"result files: {', '.join(str(p) for p in paths)}")
     return 1 if run.verification_failures else 0
+
+
+def cmd_trace(ns) -> int:
+    g = _load_graph(ns.graph, ns.float)
+    spec, cost = _device_args(ns)
+    kwargs = {}
+    if ns.delta is not None and ns.algorithm in ("adds", "nf", "gun-nf"):
+        kwargs["delta"] = ns.delta
+    result, tracer, paths = run_traced_solve(
+        g, ns.algorithm, source=ns.source, spec=spec, cost=cost,
+        out_dir=ns.out, **kwargs,
+    )
+    print(result.result_line())
+    print(f"reached {result.reached()}/{g.num_vertices} vertices; "
+          f"time {result.time_us:.1f} us; work {result.work_count}")
+    print(f"{len(tracer.events)} trace events on {len(tracer.tracks())} tracks")
+    for p in paths:
+        print(f"wrote {p}")
+    print("open trace.json at https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
 
 
 def cmd_verify(ns) -> int:
@@ -246,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--delta", type=float)
     s.add_argument("--path-to", type=int, help="print the path to this vertex")
     s.add_argument("--dist-out", help="write a *_final_dist file")
+    s.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON result")
+    s.add_argument("--json-dist", action="store_true",
+                   help="include the full distance array in --json output")
     _add_device_flags(s)
     s.set_defaults(fn=cmd_solve)
 
@@ -256,8 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--max-graphs", type=int)
     r.add_argument("--out", help="directory for artifact-style result files")
     r.add_argument("--verbose", "-v", action="store_true")
+    r.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON summary")
     _add_device_flags(r)
     r.set_defaults(fn=cmd_suite)
+
+    t = sub.add_parser(
+        "trace", help="run one solver with tracing; write Perfetto artifacts"
+    )
+    t.add_argument("graph")
+    t.add_argument("--algorithm", "-a", choices=sorted(TRACEABLE_SOLVERS),
+                   default="adds")
+    t.add_argument("--source", type=int, default=0)
+    t.add_argument("--float", action="store_true")
+    t.add_argument("--delta", type=float)
+    t.add_argument("--out", default="trace_out",
+                   help="directory for trace.json / counters.csv / summary.txt")
+    _add_device_flags(t)
+    t.set_defaults(fn=cmd_trace)
 
     v = sub.add_parser("verify", help="compare two *_final_dist files")
     v.add_argument("file_a")

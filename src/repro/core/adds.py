@@ -36,6 +36,7 @@ from repro.gpu.device import Device
 from repro.gpu.memory import GlobalPool
 from repro.gpu.specs import DeviceSpec
 from repro.graphs.csr import CSRGraph
+from repro.trace import MetricsRegistry, Tracer, coalesce
 
 __all__ = ["solve_adds", "AddsState"]
 
@@ -87,6 +88,7 @@ def solve_adds(
     cost: Optional[CostModel] = None,
     config: Optional[AddsConfig] = None,
     delta: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SSSPResult:
     """Run ADDS on the (simulated) GPU.
 
@@ -103,6 +105,11 @@ def solve_adds(
         Overrides the *initial* Δ (and the static Δ when
         ``config.dynamic_delta`` is False) — the knob the Figure 7 sweep
         turns.  Default: the Davidson heuristic, like the baselines.
+    tracer:
+        A :class:`~repro.trace.Tracer` to receive structured events
+        (MTB passes, WTB relax batches, bucket pushes, Δ retunes, …).
+        Disabled by default; tracing never perturbs the simulation, so
+        traced and untraced runs produce identical results.
     """
     spec, cost = resolve_device(spec, cost)
     config = config or AddsConfig()
@@ -119,7 +126,8 @@ def solve_adds(
     if initial_delta <= 0:
         raise SolverError("initial delta must be positive")
 
-    device = Device(spec, cost)
+    tracer = coalesce(tracer)
+    device = Device(spec, cost, tracer=tracer)
     n_wtbs = config.n_wtbs
     if n_wtbs is None:
         n_wtbs = max(1, spec.max_resident_blocks - 1)
@@ -147,6 +155,11 @@ def solve_adds(
         delta=initial_delta,
         delta_floor=delta_floor,
     )
+    if tracer.enabled:
+        clock = lambda: device.now_us  # noqa: E731 - tiny shared closure
+        queue.attach_tracer(tracer, clock)
+        pool.attach_tracer(tracer, clock)
+        controller.attach_tracer(tracer, clock)
 
     state = AddsState(
         graph=graph,
@@ -176,7 +189,41 @@ def solve_adds(
     device.add_block("MTB", mtb_program(state))
     for w in range(n_wtbs):
         device.add_block(f"WTB{w}", wtb_program(state, w))
+    if tracer.enabled:
+        # ADDS runs as one persistent kernel (MTB + WTBs, §5.1).
+        tracer.instant(
+            "device", "kernel_launch", 0.0, cat="kernel",
+            blocks=n_wtbs + 1, solver="adds",
+        )
     cycles = device.run()
+
+    metrics = MetricsRegistry()
+    for key, value in (
+        ("atomics", device.mem.stats.atomics),
+        ("fences", device.mem.stats.fences),
+        ("kernel_launches", 1),  # one persistent kernel
+        ("work_count", state.work_count),
+        ("delta_adjustments", controller.adjustments),
+        ("rotations", queue.rotations),
+        ("head_switches", state.head_switches),
+        ("total_pushed", queue.total_pushed),
+        ("total_completed", queue.total_completed),
+        ("high_clips", queue.high_clips),
+        ("low_clips", queue.low_clips),
+        ("translation_hits", queue.mtb_cache.hits),
+        ("translation_misses", queue.mtb_cache.misses),
+        ("timeline_clamps", device.timeline.clamps),
+    ):
+        metrics.counter(key).inc(value)
+    metrics.update(
+        {
+            "initial_delta": initial_delta,
+            "final_delta": queue.delta,
+            "pool_high_water": pool.high_water,
+            "active_buckets_final": controller.active_buckets,
+            "n_wtbs": n_wtbs,
+        }
+    )
 
     return SSSPResult(
         solver="adds",
@@ -187,23 +234,9 @@ def solve_adds(
         work_count=state.work_count,
         time_us=spec.cycles_to_us(cycles),
         timeline=device.timeline,
+        metrics=metrics,
         stats={
-            "initial_delta": initial_delta,
-            "final_delta": queue.delta,
-            "delta_adjustments": controller.adjustments,
+            **metrics.snapshot(),
             "delta_trace": list(state.delta_trace),
-            "rotations": queue.rotations,
-            "head_switches": state.head_switches,
-            "total_pushed": queue.total_pushed,
-            "total_completed": queue.total_completed,
-            "high_clips": queue.high_clips,
-            "low_clips": queue.low_clips,
-            "pool_high_water": pool.high_water,
-            "active_buckets_final": controller.active_buckets,
-            "n_wtbs": n_wtbs,
-            "atomics": device.mem.stats.atomics,
-            "fences": device.mem.stats.fences,
-            "translation_hits": queue.mtb_cache.hits,
-            "translation_misses": queue.mtb_cache.misses,
         },
     )

@@ -29,7 +29,7 @@ single GR payload word).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.core.block_alloc import BucketStorage, TranslationCache
 from repro.core.config import AddsConfig
 from repro.errors import ProtocolError
 from repro.gpu.memory import GlobalPool, SimMemory
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["BucketQueue", "encode_dist", "decode_dist"]
 
@@ -100,6 +101,21 @@ class BucketQueue:
         self.tail_pushes_since_check = 0
         self.low_clips = 0
         self.high_clips = 0
+
+        # observability (zero-cost unless attach_tracer enables it)
+        self._tracer: Tracer = NULL_TRACER
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def attach_tracer(
+        self, tracer: Optional[Tracer], clock: Callable[[], float]
+    ) -> None:
+        """Emit bucket push/pop/rotate events on the ``queue`` track.
+
+        ``clock`` supplies the simulated time in µs (the queue itself has
+        no device reference; the ADDS solver wires it to
+        ``device.now_us``)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
 
     # ------------------------------------------------------------------ #
     # priority mapping
@@ -167,6 +183,14 @@ class BucketQueue:
                     f"bucket {slot}: segment {seg} WCC {wcc[seg]} exceeds N"
                 )
             self.mem.stats.atomics += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "queue", "bucket_push", self._clock(), cat="queue",
+                bucket=slot, rel=self.rel_of(slot), items=k,
+            )
+            self._tracer.counter(
+                "queue_outstanding", self._clock(), self.outstanding()
+            )
         return last - first + 1
 
     def complete(self, slot: int, k: int, epoch: int) -> None:
@@ -234,6 +258,11 @@ class BucketQueue:
         spb = self.storage[slot].slots_per_block
         for vb in range(start // spb, max(start, end - 1) // spb + 1):
             self.mtb_cache.access(vb)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "queue", "bucket_pop", self._clock(), cat="queue",
+                bucket=slot, rel=self.rel_of(slot), items=end - start,
+            )
         return verts, decode_dist(bits)
 
     def bucket_drained(self, slot: int) -> bool:
@@ -268,6 +297,12 @@ class BucketQueue:
         self.head = (self.head + 1) % self.n_buckets
         self.base_dist += self.delta
         self.rotations += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "queue", "rotate", self._clock(), cat="queue",
+                new_head=self.head, base_dist=self.base_dist,
+                rotation=self.rotations,
+            )
 
     def retire_read_blocks(self, slot: int) -> int:
         """Free whole blocks below both read_ptr and CWC (FIFO shrink)."""

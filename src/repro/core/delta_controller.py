@@ -27,10 +27,11 @@ pass:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.config import AddsConfig
 from repro.gpu.specs import DeviceSpec
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["DeltaController"]
 
@@ -61,6 +62,18 @@ class DeltaController:
     util_at_growth: float = None
     growth_frozen: bool = False
     history: List[Tuple[int, float]] = field(default_factory=list)
+    #: observability hooks (see attach_tracer); excluded from comparisons
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
+    clock: Callable[[], float] = field(
+        default=lambda: 0.0, repr=False, compare=False
+    )
+
+    def attach_tracer(
+        self, tracer: Optional[Tracer], clock: Callable[[], float]
+    ) -> None:
+        """Emit a ``delta_retune`` instant for every applied Δ change."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock
 
     def __post_init__(self) -> None:
         self.active_buckets = max(
@@ -167,6 +180,13 @@ class DeltaController:
     def _change(self, rotations: int, new_delta: float) -> None:
         new_delta = max(new_delta, self.delta_floor)
         if new_delta != self.delta:
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "controller", "delta_retune", self.clock(), cat="delta",
+                    old=self.delta, new=new_delta, rotations=rotations,
+                    utilization=self.utilization(self.util_ewma),
+                    frozen=self.growth_frozen,
+                )
             self.delta = new_delta
             self.rotations_at_last_change = rotations
             self.passes_since_change = 0

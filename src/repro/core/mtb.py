@@ -52,12 +52,15 @@ def mtb_program(state):
     chunk_items = int(min(cfg.max_chunk, max(4, round(target_edges / avg_deg))))
     lookahead = 2 * cfg.max_chunk
 
+    tracer = dev.tracer
+
     empty_sweeps = 0
     last_integral = 0.0
     last_now = 0.0
     while True:
         segments_scanned = 0
         assignments = 0
+        assigned_items = 0
 
         # ---- 1. memory management ------------------------------------------
         for slot in range(q.n_buckets):
@@ -88,6 +91,13 @@ def mtb_program(state):
                 state.outstanding_edges += est_edges
                 af_state[wid] = AF_ASSIGNED  # the worker's AF poll sees this
                 assignments += 1
+                assigned_items += end - start
+                if tracer.enabled:
+                    tracer.instant(
+                        "MTB", "assign", dev.now_us, cat="mtb",
+                        wtb=wid, bucket=slot, items=end - start,
+                        est_edges=est_edges,
+                    )
 
         # ---- 3. rotation ---------------------------------------------------------
         rotated = 0
@@ -150,11 +160,25 @@ def mtb_program(state):
             if empty_sweeps >= cfg.termination_sweeps:
                 for w in range(n_wtbs):
                     af_state[w] = AF_STOP
+                if tracer.enabled:
+                    tracer.instant(
+                        "MTB", "stop_broadcast", dev.now_us, cat="mtb",
+                        empty_sweeps=empty_sweeps,
+                    )
                 return
         else:
             empty_sweeps = 0
 
         # ---- 6. charge the pass ------------------------------------------------------
+        if tracer.enabled:
+            dev.annotate(
+                "mtb_pass", segments=segments_scanned,
+                assignments=assignments, items=assigned_items, rotated=rotated,
+            )
+            tracer.counter("active_buckets", dev.now_us, ctrl.active_buckets)
+            tracer.counter(
+                "outstanding_edges", dev.now_us, max(0.0, state.outstanding_edges)
+            )
         if assignments or rotated:
             yield ("busy", cost.mtb_pass_cost(segments_scanned, assignments))
         else:

@@ -44,6 +44,8 @@ def wtb_program(state, wid: int):
     graph = state.graph
     af_state = state.af_state
     avg_deg = max(graph.average_degree(), 1.0)
+    tracer = dev.tracer
+    track = f"WTB{wid}"
 
     while True:
         yield ("wait", lambda: af_state[wid] != AF_IDLE)
@@ -85,6 +87,12 @@ def wtb_program(state, wid: int):
             )
             new_v = dsts[winners].astype(np.int64)
 
+        if tracer.enabled:
+            dev.annotate(
+                "relax_batch", bucket=slot, items=k,
+                live=int(live_verts.size), stale=k - int(live_verts.size),
+                wins=int(new_v.size),
+            )
         yield ("relax", latency, edges, nbytes)
 
         # ---- publication at batch completion ---------------------------------
@@ -103,6 +111,12 @@ def wtb_program(state, wid: int):
                     if q.capacity(int(s)) < idx0 + kk:
                         # block not allocated yet: wait for the MTB
                         # (bind loop variables via defaults)
+                        if tracer.enabled:
+                            tracer.instant(
+                                track, "alloc_wait", dev.now_us, cat="alloc",
+                                bucket=int(s), need=idx0 + kk,
+                                capacity=q.capacity(int(s)),
+                            )
                         yield (
                             "wait",
                             lambda s=int(s), need=idx0 + kk: q.capacity(s) >= need,
@@ -115,3 +129,8 @@ def wtb_program(state, wid: int):
         state.outstanding_edges -= float(state.af_edges[wid])
         state.af_edges[wid] = 0.0
         af_state[wid] = AF_IDLE
+        if tracer.enabled:
+            tracer.instant(
+                track, "wtb_complete", dev.now_us, cat="wtb",
+                bucket=slot, items=k,
+            )

@@ -43,3 +43,8 @@ class SolverError(ReproError):
 
 class ValidationError(ReproError):
     """Two solver results disagree (the ``verify_against`` analog)."""
+
+
+class TraceError(ReproError):
+    """The tracing/metrics subsystem was misused (out-of-order events,
+    duplicate metric registration under a different type, ...)."""

@@ -53,6 +53,7 @@ from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import SimMemory
 from repro.gpu.specs import DeviceSpec
 from repro.gpu.timeline import Timeline
+from repro.trace.tracer import Tracer, coalesce
 
 __all__ = ["Device", "BlockContext"]
 
@@ -71,6 +72,9 @@ class BlockContext:
     events: int = 0
     finished: bool = False
     _wait_started: float = 0.0
+    _pending_relax: Optional[float] = None
+    #: (name, args) set by Device.annotate for the next yielded event.
+    _annotation: Optional[Tuple[str, dict]] = None
 
 
 class Device:
@@ -93,12 +97,14 @@ class Device:
         cost: Optional[CostModel] = None,
         *,
         max_events: int = 20_000_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.spec = spec
         self.cost = cost if cost is not None else CostModel(spec)
         if self.cost.spec is not spec and self.cost.spec != spec:
             raise DeviceError("cost model was built for a different device spec")
         self.mem = SimMemory()
+        self.tracer = coalesce(tracer)
         self.timeline = Timeline(label=spec.name)
         self.now: float = 0.0  # cycles
         self.max_events = max_events
@@ -114,6 +120,7 @@ class Device:
         self._bytes_moved = 0.0
         self._total_events = 0
         self._ran = False
+        self._current_ctx: Optional[BlockContext] = None
 
     # -- setup ----------------------------------------------------------------- #
 
@@ -159,6 +166,21 @@ class Device:
         self._relax_integral += self._relax_edges * (self.now - self._relax_changed_at)
         self._relax_changed_at = self.now
         self._relax_edges += delta_edges
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "edges_in_flight", self.now_us, max(0.0, self._relax_edges)
+            )
+
+    def annotate(self, name: str, **args: object) -> None:
+        """Name (and attach args to) the *next* event the currently
+        running program yields — e.g. the MTB calls
+        ``device.annotate("mtb_pass", assignments=3)`` right before its
+        ``("busy", cycles)`` yield so the trace span carries the pass
+        semantics instead of a generic "busy".  A no-op when tracing is
+        disabled or called outside a program step."""
+        if not self.tracer.enabled or self._current_ctx is None:
+            return
+        self._current_ctx._annotation = (name, dict(args))
 
     # -- engine ----------------------------------------------------------------- #
 
@@ -194,6 +216,12 @@ class Device:
         for ctx, pred in self._waiting:
             if pred():
                 ctx.idle_cycles += self.now - ctx._wait_started
+                if self.tracer.enabled:
+                    start_us = self.spec.cycles_to_us(ctx._wait_started)
+                    self.tracer.span(
+                        ctx.name, "idle", start_us,
+                        self.now_us - start_us, cat="wait",
+                    )
                 # charge the successful poll that noticed the flag change
                 self._schedule(ctx, self.now + self.cost.af_poll_cycles)
             else:
@@ -219,11 +247,14 @@ class Device:
             self._finish_relax(pending)
             ctx._pending_relax = None
 
+        self._current_ctx = ctx
         try:
             event = next(ctx.program)
         except StopIteration:
             ctx.finished = True
             return
+        finally:
+            self._current_ctx = None
 
         ctx.events += 1
         kind = event[0]
@@ -232,17 +263,25 @@ class Device:
             if cycles < 0:
                 raise DeviceError(f"{ctx.name}: negative busy duration")
             ctx.busy_cycles += cycles
+            if self.tracer.enabled:
+                name, args = self._take_annotation(ctx, "busy")
+                self.tracer.span(
+                    ctx.name, name, self.now_us,
+                    self.spec.cycles_to_us(cycles), cat="compute", **args,
+                )
             self._schedule(ctx, self.now + cycles)
         elif kind == "relax":
             cycles, edges = float(event[1]), float(event[2])
             if cycles < 0 or edges < 0:
                 raise DeviceError(f"{ctx.name}: negative relax event")
+            dram_wait = 0.0
             if len(event) >= 4:
                 # bandwidth-managed form: serialize bytes through DRAM
                 nbytes = float(event[3])
                 if nbytes < 0:
                     raise DeviceError(f"{ctx.name}: negative relax bytes")
                 service_start = max(self.now, self._bw_clock)
+                dram_wait = service_start - self.now
                 transfer_done = service_start + nbytes / self.spec.bytes_per_cycle
                 self._bw_clock = transfer_done
                 self._bytes_moved += nbytes
@@ -251,6 +290,15 @@ class Device:
             self._relax_blocks += 1
             self._bump_relax(edges)
             self.timeline.record(self.now_us, self._relax_edges)
+            if self.tracer.enabled:
+                name, args = self._take_annotation(ctx, "relax")
+                args.setdefault("edges", edges)
+                if dram_wait > 0:
+                    args["dram_wait_us"] = self.spec.cycles_to_us(dram_wait)
+                self.tracer.span(
+                    ctx.name, name, self.now_us,
+                    self.spec.cycles_to_us(cycles), cat="relax", **args,
+                )
             ctx._pending_relax = edges
             self._schedule(ctx, self.now + cycles)
         elif kind == "wait":
@@ -264,6 +312,15 @@ class Device:
                 self._waiting.append((ctx, pred))
         else:
             raise DeviceError(f"{ctx.name}: unknown event kind {kind!r}")
+
+    @staticmethod
+    def _take_annotation(ctx: BlockContext, default: str) -> Tuple[str, dict]:
+        """Pop the program-supplied name/args for the event being emitted."""
+        if ctx._annotation is None:
+            return default, {}
+        name, args = ctx._annotation
+        ctx._annotation = None
+        return name, args
 
     # -- reporting ------------------------------------------------------------------ #
 

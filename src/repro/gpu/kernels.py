@@ -18,6 +18,7 @@ from repro.errors import DeviceError
 from repro.gpu.costmodel import CostModel
 from repro.gpu.specs import DeviceSpec
 from repro.gpu.timeline import Timeline
+from repro.trace.tracer import Tracer, coalesce
 
 __all__ = ["BspMachine"]
 
@@ -43,6 +44,7 @@ class BspMachine:
         *,
         label: str = "",
         overhead_multiplier: float = 1.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.spec = spec
         self.cost = cost if cost is not None else CostModel(spec)
@@ -50,10 +52,18 @@ class BspMachine:
         self.cycles: float = 0.0
         self.timeline = Timeline(label=label)
         self.supersteps: int = 0
+        self.tracer = coalesce(tracer)
+        self._track = label or "bsp"
 
     @property
     def elapsed_us(self) -> float:
         return self.spec.cycles_to_us(self.cycles)
+
+    @property
+    def kernel_launches(self) -> int:
+        """One kernel launch per BSP superstep (the barrier the paper's
+        §1 contrasts ADDS's single persistent kernel against)."""
+        return self.supersteps
 
     def superstep(
         self,
@@ -71,10 +81,21 @@ class BspMachine:
         )
         launch = self.cost.kernel_launch_cycles()
         dur = launch * self.overhead_multiplier + (base - launch)
-        self.timeline.record(self.spec.cycles_to_us(self.cycles), float(edges))
+        start_us = self.spec.cycles_to_us(self.cycles)
+        self.timeline.record(start_us, float(edges))
         self.cycles += dur
         self.timeline.record(self.spec.cycles_to_us(self.cycles), 0.0)
         self.supersteps += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                self._track, "superstep", start_us,
+                self.spec.cycles_to_us(dur), cat="kernel",
+                items=items, edges=edges, superstep=self.supersteps,
+            )
+            self.tracer.counter("edges_in_flight", start_us, float(edges))
+            self.tracer.counter(
+                "edges_in_flight", self.spec.cycles_to_us(self.cycles), 0.0
+            )
         return dur
 
     def charge_us(self, us: float) -> None:

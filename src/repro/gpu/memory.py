@@ -17,11 +17,12 @@ produced by these atomics are trivially correct; what this module adds is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.errors import AllocationError
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["MemoryStats", "SimMemory", "GlobalPool", "WORDS_PER_BLOCK"]
 
@@ -174,10 +175,26 @@ class GlobalPool:
         # bit pattern (distances are stored via a codec by the queue).
         self.storage = np.zeros((num_blocks, self.words_per_block, 2), dtype=np.int64)
         self.high_water = 0
+        self._tracer: Tracer = NULL_TRACER
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def attach_tracer(
+        self, tracer: Optional[Tracer], clock: Callable[[], float]
+    ) -> None:
+        """Emit ``pool_blocks_in_use`` counter samples on acquire/release.
+
+        ``clock`` supplies the current simulated time in µs (the pool has
+        no device reference of its own)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
 
     @property
     def free_blocks(self) -> int:
         return len(self._free)
+
+    @property
+    def blocks_in_use(self) -> int:
+        return self.num_blocks - len(self._free)
 
     def acquire(self) -> int:
         """Take a free block id; raises :class:`AllocationError` when empty."""
@@ -187,6 +204,10 @@ class GlobalPool:
             )
         blk = self._free.pop()
         self.high_water = max(self.high_water, self.num_blocks - len(self._free))
+        if self._tracer.enabled:
+            self._tracer.counter(
+                "pool_blocks_in_use", self._clock(), self.blocks_in_use
+            )
         return blk
 
     def release(self, block_id: int) -> None:
@@ -195,3 +216,7 @@ class GlobalPool:
         if block_id in self._free:
             raise AllocationError(f"double free of block {block_id}")
         self._free.append(block_id)
+        if self._tracer.enabled:
+            self._tracer.counter(
+                "pool_blocks_in_use", self._clock(), self.blocks_in_use
+            )

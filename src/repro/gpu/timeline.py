@@ -20,10 +20,16 @@ class Timeline:
         self.label = label
         self._t: List[float] = []
         self._v: List[float] = []
+        #: Samples whose timestamp ran backwards and was clamped forward.
+        #: A non-zero count flags a cost-model or engine bug — exposed in
+        #: solver stats as ``timeline_clamps`` so it can't hide.
+        self.clamps: int = 0
 
     def record(self, t_us: float, value: float) -> None:
-        """Append a sample; out-of-order times are clamped forward."""
+        """Append a sample; out-of-order times are clamped forward (and
+        counted in :attr:`clamps` — clamping hides cost-model bugs)."""
         if self._t and t_us < self._t[-1]:
+            self.clamps += 1
             t_us = self._t[-1]
         if self._t and self._t[-1] == t_us:
             self._v[-1] = value

@@ -19,13 +19,26 @@ from repro.calibration import default_cost, default_gpu
 from repro.errors import SolverError, ValidationError
 from repro.gpu.costmodel import CostModel
 from repro.gpu.specs import DeviceSpec
+from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import SuiteEntry, build_suite
+from repro.trace import MetricsRegistry, Tracer, write_trace_artifacts
 from repro.validation import verify_results
 
-__all__ = ["RunRecord", "SuiteRun", "run_suite", "write_result_files"]
+__all__ = [
+    "RunRecord",
+    "SuiteRun",
+    "run_suite",
+    "run_traced_solve",
+    "write_result_files",
+]
 
 #: Solvers that execute on the simulated GPU (accept spec/cost kwargs).
 GPU_SOLVERS = {"adds", "nf", "gun-nf", "gun-bf", "nv"}
+
+#: Solvers whose execution engine emits trace events (accept a ``tracer``
+#: kwarg): ADDS traces at thread-block granularity, the BSP baselines at
+#: superstep granularity.
+TRACEABLE_SOLVERS = GPU_SOLVERS
 
 
 @dataclass(frozen=True)
@@ -131,6 +144,46 @@ def run_suite(
             RunRecord(graph=entry.name, category=entry.category, results=results)
         )
     return run
+
+
+def run_traced_solve(
+    graph: CSRGraph,
+    solver: str = "adds",
+    *,
+    source: int = 0,
+    spec: Optional[DeviceSpec] = None,
+    cost: Optional[CostModel] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    **solver_kwargs,
+):
+    """Run one solver with tracing enabled; optionally write artifacts.
+
+    Returns ``(result, tracer, paths)`` where ``paths`` is the artifact
+    list (``trace.json`` / ``counters.csv`` / ``summary.txt``) written
+    into ``out_dir``, or ``[]`` when ``out_dir`` is None.  Only
+    :data:`TRACEABLE_SOLVERS` emit events; other solvers are rejected
+    loudly rather than producing a silently empty trace.
+    """
+    if solver not in TRACEABLE_SOLVERS:
+        raise SolverError(
+            f"solver {solver!r} does not support tracing; "
+            f"pick one of {sorted(TRACEABLE_SOLVERS)}"
+        )
+    fn = get_solver(solver)
+    spec = spec or default_gpu()
+    cost = cost or default_cost(spec)
+    tracer = Tracer()
+    result = fn(
+        graph, source, spec=spec, cost=cost, tracer=tracer, **solver_kwargs
+    )
+    paths: List[Path] = []
+    if out_dir is not None:
+        metrics = result.metrics if result.metrics is not None else MetricsRegistry()
+        paths = write_trace_artifacts(
+            out_dir, tracer, metrics,
+            title=f"{solver} on {graph.name} (source {source})",
+        )
+    return result, tracer, paths
 
 
 def write_result_files(run: SuiteRun, out_dir: Union[str, Path]) -> List[Path]:

@@ -29,6 +29,23 @@ class TestRecord:
         ts, _ = tl.series()
         assert ts == (10.0,)
 
+    def test_clamps_counted(self):
+        tl = Timeline()
+        assert tl.clamps == 0
+        tl.record(10.0, 1)
+        tl.record(4.0, 2)
+        tl.record(3.0, 3)
+        tl.record(11.0, 4)
+        assert tl.clamps == 2
+
+    def test_clamps_surface_in_solver_stats(self):
+        from repro.baselines.nearfar import solve_nf
+        from repro.graphs import grid_road
+
+        result = solve_nf(grid_road(8, 8, seed=1), 0)
+        assert "timeline_clamps" in result.stats
+        assert result.stats["timeline_clamps"] == result.timeline.clamps
+
     def test_len_and_duration(self):
         tl = Timeline()
         assert len(tl) == 0 and tl.duration_us == 0.0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -81,6 +83,24 @@ class TestSolve:
     def test_solve_with_delta(self, gr_file):
         assert main(["solve", gr_file, "-a", "nf", "--delta", "500"]) == 0
 
+    def test_solve_json_output(self, gr_file, capsys):
+        assert main(["solve", gr_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solver"] == "adds"
+        assert payload["reached"] == 108
+        assert payload["stats"]["kernel_launches"] == 1
+        assert "dist" not in payload
+
+    def test_solve_json_with_dist_and_path(self, gr_file, capsys):
+        assert main(
+            ["solve", gr_file, "--json", "--json-dist", "--path-to", "107"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["dist"]) == 108
+        assert payload["dist"][0] == 0.0
+        assert payload["path_to"][0] == 0
+        assert payload["path_to"][-1] == 107
+
 
 class TestVerify:
     def test_matching_files(self, gr_file, tmp_path, capsys):
@@ -123,6 +143,47 @@ class TestSuite:
         printed = capsys.readouterr().out
         assert "speedup of adds over nf" in printed
         assert (tmp_path / "results" / "adds_result").exists()
+
+    def test_suite_json_output(self, capsys):
+        rc = main([
+            "suite", "--solvers", "adds,nf", "--categories", "road",
+            "--scale", "0.25", "--max-graphs", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solvers"] == ["adds", "nf"]
+        rec = payload["records"][0]
+        assert set(rec["results"]) == {"adds", "nf"}
+        assert rec["results"]["adds"]["time_us"] > 0
+        assert payload["speedup"]["baseline"] == "nf"
+        assert payload["verification_failures"] == []
+
+
+class TestTrace:
+    def test_trace_writes_artifacts(self, gr_file, tmp_path, capsys):
+        out = tmp_path / "tr"
+        assert main(["trace", gr_file, "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "trace events" in printed
+        doc = json.loads((out / "trace.json").read_text())
+        thread_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "MTB" in thread_names
+        assert any(n.startswith("WTB") for n in thread_names)
+        assert (out / "counters.csv").exists()
+        assert (out / "summary.txt").exists()
+
+    def test_trace_bsp_solver(self, gr_file, tmp_path):
+        out = tmp_path / "tr"
+        assert main(["trace", gr_file, "-a", "nf", "--out", str(out)]) == 0
+        assert (out / "trace.json").exists()
+
+    def test_trace_rejects_cpu_solver(self, gr_file):
+        with pytest.raises(SystemExit):
+            main(["trace", gr_file, "-a", "dijkstra"])
 
 
 class TestParser:

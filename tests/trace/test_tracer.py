@@ -1,0 +1,83 @@
+"""Unit tests for repro.trace.tracer: event types, ordering, null sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, coalesce
+from repro.trace.tracer import COUNTER, INSTANT, SPAN
+
+
+def test_span_instant_counter_recorded():
+    t = Tracer()
+    t.span("WTB0", "relax_batch", 1.0, 2.5, cat="relax", items=8)
+    t.instant("MTB", "assign", 3.0, wtb=0)
+    t.counter("edges_in_flight", 4.0, 17)
+    assert len(t) == 3
+    kinds = [ev.kind for ev in t.events]
+    assert kinds == [SPAN, INSTANT, COUNTER]
+    span = t.events[0]
+    assert span.end_us == pytest.approx(3.5)
+    assert span.args["items"] == 8
+    assert t.events[2].args["value"] == 17.0
+
+
+def test_per_track_ordering_enforced():
+    t = Tracer()
+    t.instant("WTB0", "a", 5.0)
+    # a different track may lag behind
+    t.instant("WTB1", "b", 1.0)
+    # same timestamp is fine (ties are common at dispatch boundaries)
+    t.instant("WTB0", "c", 5.0)
+    with pytest.raises(TraceError):
+        t.instant("WTB0", "backwards", 4.0)
+
+
+def test_negative_span_duration_rejected():
+    t = Tracer()
+    with pytest.raises(TraceError):
+        t.span("WTB0", "bad", 1.0, -0.5)
+
+
+def test_tracks_in_first_appearance_order():
+    t = Tracer()
+    t.instant("MTB", "x", 0.0)
+    t.instant("WTB1", "x", 0.0)
+    t.instant("MTB", "y", 1.0)
+    t.instant("WTB0", "x", 0.5)
+    assert t.tracks() == ["MTB", "WTB1", "WTB0"]
+    assert [e.name for e in t.events_for("MTB")] == ["x", "y"]
+    assert len(t.by_name("x")) == 3
+
+
+def test_duration_is_latest_event_end():
+    t = Tracer()
+    assert t.duration_us() == 0.0
+    t.span("A", "s", 1.0, 10.0)
+    t.instant("B", "i", 5.0)
+    assert t.duration_us() == pytest.approx(11.0)
+
+
+def test_null_tracer_is_inert():
+    n = NullTracer()
+    assert not n.enabled
+    n.span("A", "s", 0.0, 1.0)
+    n.instant("A", "i", 0.0)
+    n.counter("c", 0.0, 1)
+    n.record(TraceEvent(SPAN, "A", "s", 0.0))
+    assert len(n) == 0
+    assert n.tracks() == []
+
+
+def test_coalesce():
+    t = Tracer()
+    assert coalesce(t) is t
+    assert coalesce(None) is NULL_TRACER
+    assert not NULL_TRACER.enabled
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.span("A", "s", 0.0, 1.0)
+    assert len(t) == 0
