@@ -19,9 +19,13 @@ Quickstart::
 
 from repro.baselines import (
     SOLVERS,
+    SolveRequest,
+    SolverInfo,
     SSSPResult,
     davidson_delta,
     get_solver,
+    get_solver_info,
+    solver_names,
     solve_cpu_ds,
     solve_dijkstra,
     solve_gun_bf,
@@ -55,8 +59,12 @@ __version__ = "1.0.0"
 __all__ = [
     "sssp",
     "SSSPResult",
+    "SolveRequest",
+    "SolverInfo",
     "SOLVERS",
     "get_solver",
+    "get_solver_info",
+    "solver_names",
     "solve_adds",
     "AddsConfig",
     "solve_nf",

@@ -23,7 +23,15 @@ and float graphs pay the software atomic-min surcharge.
 """
 
 from repro.baselines.bellman_ford import solve_gun_bf
-from repro.baselines.common import SOLVERS, SSSPResult, get_solver
+from repro.baselines.common import (
+    SOLVERS,
+    SolveRequest,
+    SolverInfo,
+    SSSPResult,
+    get_solver,
+    get_solver_info,
+    solver_names,
+)
 from repro.baselines.cpu_delta import solve_cpu_ds
 from repro.baselines.dijkstra import solve_dijkstra
 from repro.baselines.heuristics import NEAR_FAR_C, davidson_delta
@@ -32,8 +40,12 @@ from repro.baselines.nvgraph import solve_nv
 
 __all__ = [
     "SSSPResult",
+    "SolveRequest",
+    "SolverInfo",
     "SOLVERS",
     "get_solver",
+    "get_solver_info",
+    "solver_names",
     "davidson_delta",
     "NEAR_FAR_C",
     "solve_nf",

@@ -92,7 +92,7 @@ def bellman_ford_frontier(
     )
 
 
-@register_solver("gun-bf")
+@register_solver("gun-bf", needs_device=True, traceable=True)
 def solve_gun_bf(
     graph: CSRGraph,
     source: int = 0,

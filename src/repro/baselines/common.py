@@ -1,16 +1,31 @@
-"""Shared result type and solver registry.
+"""Shared result type, solver registry, and the uniform invocation API.
 
 Every solver — the six baselines and ADDS — returns an
 :class:`SSSPResult`, the analog of the artifact's ``*_result`` files
 ("Each line has 3 fields: Graph_name run_time work_count") plus the
 distance vector used by ``verify_against_*`` and the parallelism timeline
 used by Figures 11–15.
+
+Solvers register with capability flags (:class:`SolverInfo`) so the
+harness, CLI and experiment engine never special-case solver *names*:
+``needs_device`` marks solvers that consume a
+:class:`~repro.gpu.specs.DeviceSpec`/:class:`~repro.gpu.costmodel.CostModel`
+pair, ``traceable`` marks solvers whose engine emits
+:class:`~repro.trace.Tracer` events, and so on.  The uniform entry point
+is :meth:`SolverInfo.solve` over a :class:`SolveRequest`; the per-solver
+keyword signatures (``solve_adds(graph, source, spec=..., ...)``) remain
+as thin legacy shims on top of the same functions.
+
+.. versionchanged:: PR 2
+   ``SOLVERS`` maps names to :class:`SolverInfo` (callable, so existing
+   ``SOLVERS[name](graph, source)`` call sites keep working) instead of
+   bare functions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -19,15 +34,25 @@ from repro.gpu.timeline import Timeline
 from repro.trace.metrics import MetricsRegistry, UNIFORM_SOLVER_KEYS
 
 __all__ = [
+    "RESULT_SCHEMA_VERSION",
     "SSSPResult",
+    "SolveRequest",
+    "SolverInfo",
     "SOLVERS",
     "register_solver",
     "get_solver",
+    "get_solver_info",
+    "solver_names",
     "init_distances",
     "init_tree",
     "resolve_sources",
     "solver_metrics",
 ]
+
+#: Version of the JSON payloads emitted by :meth:`SSSPResult.to_json_dict`
+#: and the CLI ``--json`` paths (documented in ``docs/schema.md``).  Bump
+#: on any backwards-incompatible change to field names or semantics.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -99,6 +124,7 @@ class SSSPResult:
         as None, keeping the payload valid strict JSON.
         """
         out: Dict[str, object] = {
+            "schema": RESULT_SCHEMA_VERSION,
             "solver": self.solver,
             "graph": self.graph_name,
             "source": int(self.source),
@@ -180,30 +206,197 @@ def solver_metrics(
     return reg
 
 
-#: Registry mapping solver name -> solve(graph, source, **opts) callable.
-SOLVERS: Dict[str, Callable] = {}
+@dataclass
+class SolveRequest:
+    """One solver invocation, as a value.
+
+    The uniform currency of the invocation API: the CLI, harness and
+    :mod:`repro.engine` all describe "run solver X on graph G from source
+    s with device D" as a ``SolveRequest`` and submit it through
+    :meth:`SolverInfo.solve`.  Fields a solver does not understand are
+    simply not forwarded (a CPU solver ignores ``spec``/``cost``; a
+    non-traceable solver given a ``tracer`` is rejected loudly).
+
+    Attributes
+    ----------
+    graph / source / sources:
+        What to solve.  ``sources`` enables multi-source runs and must
+        contain ``source`` (see :func:`resolve_sources`).
+    spec / cost:
+        Device model for solvers registered with ``needs_device``;
+        ``None`` means the solver's own default (the calibrated scaled
+        RTX 2080 Ti).
+    delta:
+        Initial/static Δ override for the delta-stepping family
+        (``accepts_delta`` solvers).
+    config:
+        Solver configuration object (``accepts_config`` solvers; for
+        ADDS an :class:`~repro.core.config.AddsConfig`).
+    tracer:
+        A :class:`~repro.trace.Tracer` for ``traceable`` solvers.
+    options:
+        Extra solver-specific keyword arguments, forwarded verbatim
+        (e.g. ``cpu=``/``cost=`` for the CPU cost models).
+    """
+
+    graph: "object"  # CSRGraph; typed loosely to avoid an import cycle
+    source: int = 0
+    sources: Optional[Sequence[int]] = None
+    spec: Optional[object] = None
+    cost: Optional[object] = None
+    delta: Optional[float] = None
+    config: Optional[object] = None
+    tracer: Optional[object] = None
+    options: Dict[str, object] = field(default_factory=dict)
 
 
-def register_solver(name: str) -> Callable:
-    """Class-of-2 decorator registering a solver under its paper name."""
+@dataclass(frozen=True)
+class SolverInfo:
+    """A registered solver: its callable plus declared capabilities.
+
+    Calling the info object forwards to the legacy keyword signature, so
+    code (and tests) written against ``get_solver(name)(graph, source,
+    **kwargs)`` keeps working unchanged; :meth:`solve` is the uniform
+    :class:`SolveRequest` entry point everything new should use.
+    """
+
+    name: str
+    fn: Callable = field(repr=False)
+    #: Consumes ``spec=``/``cost=`` (a simulated-GPU solver).
+    needs_device: bool = False
+    #: Accepts a ``tracer=`` and emits structured trace events.
+    traceable: bool = False
+    #: Accepts a ``delta=`` override (the delta-stepping family).
+    accepts_delta: bool = False
+    #: Accepts a ``config=`` object (currently only ADDS).
+    accepts_config: bool = False
+
+    def __call__(self, graph, source: int = 0, **kwargs) -> "SSSPResult":
+        """Legacy keyword-style invocation (thin shim over :attr:`fn`).
+
+        .. deprecated:: PR 2
+           Prefer :meth:`solve` with a :class:`SolveRequest`; this shim
+           stays for existing call sites and per-solver keyword options.
+        """
+        return self.fn(graph, source, **kwargs)
+
+    def solve(self, request: SolveRequest) -> "SSSPResult":
+        """Run this solver on a :class:`SolveRequest`.
+
+        Maps the request's uniform fields onto the solver's keyword
+        signature according to the declared capabilities, rejecting
+        fields the solver cannot honor (rather than silently dropping a
+        requested tracer, Δ or config).
+        """
+        kwargs: Dict[str, object] = dict(request.options)
+        if request.sources is not None:
+            kwargs.setdefault("sources", request.sources)
+        if self.needs_device:
+            if request.spec is not None:
+                kwargs.setdefault("spec", request.spec)
+            if request.cost is not None:
+                kwargs.setdefault("cost", request.cost)
+        if request.tracer is not None:
+            if not self.traceable:
+                raise SolverError(
+                    f"solver {self.name!r} does not support tracing; "
+                    f"pick one of {solver_names(traceable=True)}"
+                )
+            kwargs.setdefault("tracer", request.tracer)
+        if request.delta is not None:
+            if not self.accepts_delta:
+                raise SolverError(
+                    f"solver {self.name!r} does not take a delta override"
+                )
+            kwargs.setdefault("delta", request.delta)
+        if request.config is not None:
+            if not self.accepts_config:
+                raise SolverError(
+                    f"solver {self.name!r} does not take a config object"
+                )
+            kwargs.setdefault("config", request.config)
+        return self.fn(request.graph, request.source, **kwargs)
+
+
+#: Registry mapping solver name -> :class:`SolverInfo` (callable, so the
+#: pre-PR-2 ``SOLVERS[name](graph, source)`` idiom still works).
+SOLVERS: Dict[str, SolverInfo] = {}
+
+
+def register_solver(
+    name: str,
+    *,
+    needs_device: bool = False,
+    traceable: bool = False,
+    accepts_delta: bool = False,
+    accepts_config: bool = False,
+) -> Callable:
+    """Decorator registering a solver under its paper name.
+
+    The keyword flags declare capabilities once, at registration time —
+    they replace the ad-hoc ``GPU_SOLVERS``/``TRACEABLE_SOLVERS`` name
+    sets the harness and CLI used to hard-code.
+    """
 
     def deco(fn: Callable) -> Callable:
         if name in SOLVERS:
             raise SolverError(f"duplicate solver registration: {name}")
-        SOLVERS[name] = fn
+        SOLVERS[name] = SolverInfo(
+            name=name,
+            fn=fn,
+            needs_device=needs_device,
+            traceable=traceable,
+            accepts_delta=accepts_delta,
+            accepts_config=accepts_config,
+        )
         return fn
 
     return deco
 
 
-def get_solver(name: str) -> Callable:
-    """Look up a registered solver (``adds``, ``nf``, ``gun-bf``, ...)."""
+def get_solver(name: str) -> SolverInfo:
+    """Look up a registered solver (``adds``, ``nf``, ``gun-bf``, ...).
+
+    Returns the (callable) :class:`SolverInfo`, so both the legacy
+    ``get_solver(name)(graph, source, **kwargs)`` idiom and the uniform
+    ``get_solver(name).solve(request)`` path work.
+    """
     try:
         return SOLVERS[name]
     except KeyError:
         raise SolverError(
             f"unknown solver {name!r}; available: {sorted(SOLVERS)}"
         ) from None
+
+
+#: Alias making call sites that specifically want metadata read clearly.
+get_solver_info = get_solver
+
+
+def solver_names(
+    *,
+    needs_device: Optional[bool] = None,
+    traceable: Optional[bool] = None,
+    accepts_delta: Optional[bool] = None,
+    accepts_config: Optional[bool] = None,
+) -> list:
+    """Sorted registered names, filtered by capability flags.
+
+    ``None`` means "don't care"; e.g. ``solver_names(traceable=True)`` is
+    the set the ``trace`` subcommand offers.
+    """
+    out = []
+    for name, info in SOLVERS.items():
+        if needs_device is not None and info.needs_device != needs_device:
+            continue
+        if traceable is not None and info.traceable != traceable:
+            continue
+        if accepts_delta is not None and info.accepts_delta != accepts_delta:
+            continue
+        if accepts_config is not None and info.accepts_config != accepts_config:
+            continue
+        out.append(name)
+    return sorted(out)
 
 
 def resolve_sources(n: int, source: int, sources) -> np.ndarray:

@@ -158,7 +158,7 @@ def near_far(
     )
 
 
-@register_solver("nf")
+@register_solver("nf", needs_device=True, traceable=True, accepts_delta=True)
 def solve_nf(
     graph: CSRGraph,
     source: int = 0,
@@ -186,7 +186,7 @@ def solve_nf(
     )
 
 
-@register_solver("gun-nf")
+@register_solver("gun-nf", needs_device=True, traceable=True, accepts_delta=True)
 def solve_gun_nf(
     graph: CSRGraph,
     source: int = 0,

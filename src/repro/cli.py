@@ -29,7 +29,13 @@ import numpy as np
 
 from repro import __version__
 from repro.analysis import bin_ratios, format_distribution_table, format_table
-from repro.baselines.common import SOLVERS, get_solver
+from repro.baselines.common import (
+    RESULT_SCHEMA_VERSION,
+    SOLVERS,
+    SolveRequest,
+    get_solver_info,
+    solver_names,
+)
 from repro.calibration import sim_cost, sim_gpu
 from repro.errors import ReproError
 from repro.graphs import (
@@ -47,7 +53,6 @@ from repro.graphs.gr_format import read_dimacs, write_dimacs
 from repro.graphs.metrics import compute_stats
 from repro.gpu.specs import RTX_2080TI, RTX_3090
 from repro.harness import (
-    TRACEABLE_SOLVERS,
     run_suite,
     run_traced_solve,
     write_result_files,
@@ -123,18 +128,19 @@ def cmd_info(ns) -> int:
 
 def cmd_solve(ns) -> int:
     g = _load_graph(ns.graph, ns.float)
-    solver = get_solver(ns.algorithm)
-    kwargs = {}
-    if ns.algorithm in ("adds", "nf", "gun-nf", "gun-bf", "nv"):
+    info = get_solver_info(ns.algorithm)
+    spec = cost = None
+    if info.needs_device:
         spec, cost = _device_args(ns)
-        kwargs["spec"] = spec
-        if cost is not None:
-            kwargs["cost"] = cost
-    if ns.delta is not None and ns.algorithm in ("adds", "nf", "gun-nf", "cpu-ds"):
-        kwargs["delta"] = ns.delta
-    if ns.sources:
-        kwargs["sources"] = [int(s) for s in ns.sources.split(",")]
-    result = solver(g, ns.source, **kwargs)
+    request = SolveRequest(
+        graph=g,
+        source=ns.source,
+        sources=[int(s) for s in ns.sources.split(",")] if ns.sources else None,
+        spec=spec,
+        cost=cost,
+        delta=ns.delta,
+    )
+    result = info.solve(request)
     if ns.json:
         payload = result.to_json_dict(include_dist=ns.json_dist)
         if ns.path_to is not None:
@@ -172,10 +178,18 @@ def cmd_suite(ns) -> int:
     )
     spec, cost = _device_args(ns)
     progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if ns.verbose else None
-    run = run_suite(solvers=solvers, suite=suite, spec=spec, cost=cost,
-                    progress=progress)
+    run = run_suite(
+        solvers=solvers, suite=suite, spec=spec, cost=cost, progress=progress,
+        jobs=None if ns.jobs == 0 else ns.jobs,
+        timeout_s=ns.timeout,
+        max_attempts=ns.retries,
+        cache_dir=ns.cache_dir,
+        store_path=ns.resume,
+        resume=ns.resume is not None,
+    )
     if ns.json:
         payload = {
+            "schema": RESULT_SCHEMA_VERSION,
             "solvers": list(solvers),
             "records": [
                 {
@@ -193,6 +207,8 @@ def cmd_suite(ns) -> int:
                 for rec in run.records
             ],
             "verification_failures": list(run.verification_failures),
+            "failures": [f.to_json_dict() for f in run.failures],
+            "resumed": run.resumed,
         }
         if len(solvers) > 1:
             base = solvers[1]
@@ -213,6 +229,10 @@ def cmd_suite(ns) -> int:
         return 1 if run.verification_failures else 0
     for failure in run.verification_failures:
         print(f"VERIFY: {failure}", file=sys.stderr)
+    for failed in run.failures:
+        print(f"FAILED: {failed.describe()}", file=sys.stderr)
+    if run.resumed:
+        print(f"resumed {run.resumed} cells from {ns.resume}", file=sys.stderr)
     if len(solvers) > 1:
         base = solvers[1]
         d = bin_ratios(run.speedups(solvers[0], base), label=base.upper())
@@ -232,12 +252,21 @@ def cmd_trace(ns) -> int:
     g = _load_graph(ns.graph, ns.float)
     spec, cost = _device_args(ns)
     kwargs = {}
-    if ns.delta is not None and ns.algorithm in ("adds", "nf", "gun-nf"):
+    if ns.delta is not None and get_solver_info(ns.algorithm).accepts_delta:
         kwargs["delta"] = ns.delta
     result, tracer, paths = run_traced_solve(
         g, ns.algorithm, source=ns.source, spec=spec, cost=cost,
         out_dir=ns.out, **kwargs,
     )
+    if ns.json:
+        payload = result.to_json_dict()
+        payload["trace"] = {
+            "events": len(tracer.events),
+            "tracks": len(tracer.tracks()),
+        }
+        payload["artifacts"] = [str(p) for p in paths]
+        print(json.dumps(payload, indent=2))
+        return 0
     print(result.result_line())
     print(f"reached {result.reached()}/{g.num_vertices} vertices; "
           f"time {result.time_us:.1f} us; work {result.work_count}")
@@ -341,6 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--verbose", "-v", action="store_true")
     r.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON summary")
+    r.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (0 = auto-detect; default 1, serial)")
+    r.add_argument("--timeout", type=float,
+                   help="per-cell time budget in seconds")
+    r.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="attempts per cell before recording a failure")
+    r.add_argument("--cache-dir",
+                   help="directory for the on-disk graph cache")
+    r.add_argument("--resume", metavar="STORE",
+                   help="JSONL result store; completed cells found in it "
+                        "are restored instead of re-run")
     _add_device_flags(r)
     r.set_defaults(fn=cmd_suite)
 
@@ -348,13 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run one solver with tracing; write Perfetto artifacts"
     )
     t.add_argument("graph")
-    t.add_argument("--algorithm", "-a", choices=sorted(TRACEABLE_SOLVERS),
+    t.add_argument("--algorithm", "-a", choices=solver_names(traceable=True),
                    default="adds")
     t.add_argument("--source", type=int, default=0)
     t.add_argument("--float", action="store_true")
     t.add_argument("--delta", type=float)
     t.add_argument("--out", default="trace_out",
                    help="directory for trace.json / counters.csv / summary.txt")
+    t.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON result")
     _add_device_flags(t)
     t.set_defaults(fn=cmd_trace)
 

@@ -78,7 +78,13 @@ def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
     return max(512, need + 4 * config.n_buckets)
 
 
-@register_solver("adds")
+@register_solver(
+    "adds",
+    needs_device=True,
+    traceable=True,
+    accepts_delta=True,
+    accepts_config=True,
+)
 def solve_adds(
     graph: CSRGraph,
     source: int = 0,

@@ -1,0 +1,128 @@
+"""On-disk graph cache keyed by :meth:`~repro.graphs.suite.GraphSpec.cache_key`.
+
+Suite graphs are deterministic functions of their generator parameters,
+but generating the larger corpus entries costs real time, and a sweep
+re-runs the same corpus over and over.  The cache stores each built graph
+as an ``.npz`` of its CSR arrays under a content hash of the spec, so
+
+- repeated sweeps skip regeneration entirely, and
+- engine worker processes load a cell's graph with one mmap-friendly
+  read instead of receiving megabytes of pickled arrays per cell.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+racing to populate the same key at worst do redundant work — they can
+never observe a half-written file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.suite import GraphSpec
+
+__all__ = ["GraphCache", "CACHE_FORMAT_VERSION"]
+
+#: Bump to invalidate every cached graph (e.g. when a generator's output
+#: for identical parameters legitimately changes).
+CACHE_FORMAT_VERSION = 1
+
+
+class GraphCache:
+    """Content-addressed store of built suite graphs.
+
+    ``hits``/``misses`` count :meth:`get_or_build` outcomes for the
+    lifetime of this instance (the engine surfaces them via progress
+    messages and tests assert on them).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: GraphSpec) -> Path:
+        return self.root / f"v{CACHE_FORMAT_VERSION}-{spec.cache_key()}.npz"
+
+    def load(self, spec: GraphSpec) -> Optional[CSRGraph]:
+        """The cached graph for ``spec``, or None on a miss.
+
+        A corrupt cache entry is deleted and reported as a miss — the
+        caller regenerates and overwrites it — rather than poisoning the
+        sweep.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return CSRGraph(
+                    row_offsets=data["row_offsets"],
+                    col_indices=data["col_indices"],
+                    weights=data["weights"],
+                    name=str(data["name"]),
+                )
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, spec: GraphSpec, graph: CSRGraph) -> Path:
+        """Atomically persist ``graph`` under ``spec``'s key."""
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    row_offsets=graph.row_offsets,
+                    col_indices=graph.col_indices,
+                    weights=graph.weights,
+                    name=np.asarray(graph.name),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_or_build(self, spec: GraphSpec, *, name: Optional[str] = None) -> CSRGraph:
+        """Return the graph for ``spec``, building and caching on a miss.
+
+        ``name`` relabels the returned graph (suite entries carry their
+        own display names); the cached arrays are name-independent.
+        """
+        g = self.load(spec)
+        if g is None:
+            self.misses += 1
+            g = spec.build()
+            self.store(spec, g)
+        else:
+            self.hits += 1
+        if name is not None and g.name != name:
+            g = CSRGraph(
+                row_offsets=g.row_offsets,
+                col_indices=g.col_indices,
+                weights=g.weights,
+                name=name,
+            )
+        return g
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("v*-*.npz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,83 @@
+"""Failure policy: what the engine records when a cell cannot produce a result.
+
+A *cell* is one (graph, solver) pair of a sweep.  The engine never lets a
+cell kill the sweep: a raising solver, a wedged worker, or a cell that
+blows its time budget becomes a :class:`FailedRun` — a structured,
+JSON-serializable record that rides along in
+:class:`~repro.harness.SuiteRun` and the JSONL result store, so a 226-graph
+sweep always completes and reports exactly which cells did not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.errors import EngineError
+
+__all__ = ["FailedRun", "FAILURE_KINDS"]
+
+#: ``error`` — the solver (or graph build) raised; ``timeout`` — the cell
+#: exceeded its per-cell budget (in-worker alarm or parent-side backstop).
+FAILURE_KINDS = ("error", "timeout")
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """One cell of a sweep that produced no :class:`SSSPResult`.
+
+    Attributes
+    ----------
+    graph / category / solver:
+        The cell's coordinates in the sweep.
+    kind:
+        One of :data:`FAILURE_KINDS`.
+    message:
+        Human-readable cause (exception type and text, or the budget that
+        was exceeded).
+    attempts:
+        How many times the engine tried the cell before giving up
+        (bounded by the engine's ``max_attempts``).
+    elapsed_s:
+        Wall-clock seconds the *last* attempt consumed.
+    """
+
+    graph: str
+    category: str
+    solver: str
+    kind: str
+    message: str
+    attempts: int
+    elapsed_s: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise EngineError(
+                f"unknown failure kind {self.kind!r}; expected one of "
+                f"{FAILURE_KINDS}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI failure report."""
+        return (
+            f"{self.graph}: {self.solver} {self.kind} after "
+            f"{self.attempts} attempt(s) ({self.elapsed_s:.2f}s): {self.message}"
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "FailedRun":
+        try:
+            return cls(
+                graph=str(payload["graph"]),
+                category=str(payload["category"]),
+                solver=str(payload["solver"]),
+                kind=str(payload["kind"]),
+                message=str(payload["message"]),
+                attempts=int(payload["attempts"]),
+                elapsed_s=float(payload["elapsed_s"]),
+            )
+        except KeyError as exc:
+            raise EngineError(f"failure record missing field {exc}") from None

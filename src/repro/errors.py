@@ -48,3 +48,8 @@ class ValidationError(ReproError):
 class TraceError(ReproError):
     """The tracing/metrics subsystem was misused (out-of-order events,
     duplicate metric registration under a different type, ...)."""
+
+
+class EngineError(ReproError):
+    """The experiment engine was misconfigured or its on-disk state
+    (result store, graph cache) is corrupt."""

@@ -21,41 +21,110 @@ c-big-mini      c-big (SuiteSparse)     Figure 15, tiny-runtime extreme
 ========== ============================ =================================
 
 Entries are built lazily and cached, so iterating metadata is cheap.
+
+Corpus entries are described by :class:`GraphSpec` — a *picklable* value
+(generator name + parameters) rather than a closure — so the experiment
+engine can ship "which graph" across process boundaries and key its
+on-disk graph cache on a stable content hash.  ``SuiteEntry`` still
+accepts a ``factory`` callable for ad-hoc, in-process suites (the
+pre-engine API), but factory-based entries cannot be cached or built in
+worker processes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GraphConstructionError
+from repro.graphs import generators as _generators
 from repro.graphs.csr import CSRGraph
-from repro.graphs.generators import (
-    clique_chain,
-    fem_mesh,
-    grid_road,
-    random_geometric,
-    random_gnm,
-    rmat,
-)
 
-__all__ = ["SuiteEntry", "build_suite", "named_graph", "NAMED_STANDINS"]
+__all__ = [
+    "GraphSpec",
+    "SuiteEntry",
+    "build_suite",
+    "named_graph",
+    "NAMED_STANDINS",
+]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A picklable recipe for one corpus graph.
+
+    ``generator`` names a function in :mod:`repro.graphs.generators`;
+    ``params`` is its keyword arguments as a sorted tuple of pairs (kept
+    hashable so specs can be dict keys); ``as_float`` applies the
+    ``sssp-float`` twin conversion after generation.  Only explicitly
+    given parameters are recorded — generator defaults stay implicit, and
+    :meth:`cache_key` therefore changes exactly when the recipe does.
+    """
+
+    generator: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    as_float: bool = False
+
+    @classmethod
+    def make(cls, generator: str, *, as_float: bool = False, **params) -> "GraphSpec":
+        """Build a spec from plain keyword arguments."""
+        return cls(
+            generator=generator,
+            params=tuple(sorted(params.items())),
+            as_float=as_float,
+        )
+
+    def build(self) -> CSRGraph:
+        """Generate the graph (deterministic: same spec → same arrays)."""
+        if self.generator not in _generators.__all__:
+            raise GraphConstructionError(
+                f"unknown generator {self.generator!r}; "
+                f"choose from {sorted(_generators.__all__)}"
+            )
+        g = getattr(_generators, self.generator)(**dict(self.params))
+        return g.as_float() if self.as_float else g
+
+    def cache_key(self) -> str:
+        """A stable content hash for the on-disk graph cache."""
+        payload = json.dumps(
+            {
+                "generator": self.generator,
+                "params": list(self.params),
+                "as_float": self.as_float,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass
 class SuiteEntry:
-    """One corpus graph: metadata plus a lazily-built :class:`CSRGraph`."""
+    """One corpus graph: metadata plus a lazily-built :class:`CSRGraph`.
+
+    Exactly one of ``spec`` (picklable recipe, preferred) or ``factory``
+    (arbitrary callable, legacy) must be provided.
+    """
 
     name: str
     category: str
-    factory: Callable[[], CSRGraph] = field(repr=False)
+    spec: Optional[GraphSpec] = field(default=None, repr=False)
+    factory: Optional[Callable[[], CSRGraph]] = field(default=None, repr=False)
     source: int = 0
     _graph: Optional[CSRGraph] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.factory is None):
+            raise GraphConstructionError(
+                f"suite entry {self.name!r} needs exactly one of spec/factory"
+            )
 
     def graph(self) -> CSRGraph:
         """Build (once) and return the graph."""
         if self._graph is None:
-            g = self.factory()
+            g = self.factory() if self.factory is not None else self.spec.build()
             # Re-label with the suite name so reports line up.
             self._graph = CSRGraph(
                 row_offsets=g.row_offsets,
@@ -70,32 +139,35 @@ def _scaled(value: int, scale: float, floor: int = 8) -> int:
     return max(floor, int(round(value * scale)))
 
 
-def _named_factories(scale: float) -> Dict[str, Callable[[], CSRGraph]]:
+def _named_specs(scale: float) -> Dict[str, GraphSpec]:
     s = scale
-    side = _scaled(110, s**0.5, floor=12)
     return {
         # road-USA: huge diameter, degree ~2.4, wide travel-time weights.
-        "road-usa-mini": lambda: grid_road(
-            _scaled(160, s**0.5, 12), _scaled(90, s**0.5, 12),
+        "road-usa-mini": GraphSpec.make(
+            "grid_road",
+            width=_scaled(160, s**0.5, 12), height=_scaled(90, s**0.5, 12),
             max_weight=8192, seed=11,
         ),
         # BenElechi1: FEM matrix, avg degree ~26, mid diameter.  Heavy-
         # tailed values (like the real matrix) push the Davidson Δ far
         # from the typical weight — the regime where NF loses ordering.
-        "benelechi1-mini": lambda: fem_mesh(
-            _scaled(9000, s, 200), band=36, stride=3, max_weight=65535,
+        "benelechi1-mini": GraphSpec.make(
+            "fem_mesh",
+            n=_scaled(9000, s, 200), band=36, stride=3, max_weight=65535,
             weight_style="heavy", seed=21,
         ),
         # msdoor: FEM mesh, avg degree ~46, heavy-tailed values.
-        "msdoor-mini": lambda: fem_mesh(
-            _scaled(8000, s, 200), band=44, stride=2, max_weight=65535,
+        "msdoor-mini": GraphSpec.make(
+            "fem_mesh",
+            n=_scaled(8000, s, 200), band=44, stride=2, max_weight=65535,
             weight_style="heavy", seed=31,
         ),
         # rmat22: power law, avg degree ~8 directed.  Slightly stronger
         # skew than the suite default so the hub structure the paper
         # analyzes is unmistakable, while staying ≥75 % reachable.
-        "rmat22-mini": lambda: rmat(
-            max(8, int(round(13 + (s - 1)))),
+        "rmat22-mini": GraphSpec.make(
+            "rmat",
+            scale=max(8, int(round(13 + (s - 1)))),
             edge_factor=8,
             a=0.48,
             b=0.19,
@@ -104,25 +176,26 @@ def _named_factories(scale: float) -> Dict[str, Callable[[], CSRGraph]]:
         ),
         # c-big: near-flat optimization matrix, tiny runtime; heavy-tailed
         # values like the real LP matrix.
-        "c-big-mini": lambda: clique_chain(
-            _scaled(24, s, 2), _scaled(70, s**0.5, 6), max_weight=2048,
-            weight_style="heavy", seed=51,
+        "c-big-mini": GraphSpec.make(
+            "clique_chain",
+            num_cliques=_scaled(24, s, 2), clique_size=_scaled(70, s**0.5, 6),
+            max_weight=2048, weight_style="heavy", seed=51,
         ),
     }
 
 
 #: Names of the five per-figure stand-in graphs.
-NAMED_STANDINS = tuple(sorted(_named_factories(1.0).keys()))
+NAMED_STANDINS = tuple(sorted(_named_specs(1.0).keys()))
 
 
 def named_graph(name: str, *, scale: float = 1.0) -> CSRGraph:
     """Build one of the named stand-in graphs (see module docstring)."""
-    factories = _named_factories(scale)
-    if name not in factories:
+    specs = _named_specs(scale)
+    if name not in specs:
         raise GraphConstructionError(
-            f"unknown named graph {name!r}; choose from {sorted(factories)}"
+            f"unknown named graph {name!r}; choose from {sorted(specs)}"
         )
-    g = factories[name]()
+    g = specs[name].build()
     return CSRGraph(
         row_offsets=g.row_offsets,
         col_indices=g.col_indices,
@@ -163,8 +236,8 @@ def build_suite(
     s = scale
     entries: List[SuiteEntry] = []
 
-    def add(name: str, category: str, factory: Callable[[], CSRGraph]) -> None:
-        entries.append(SuiteEntry(name=name, category=category, factory=factory))
+    def add(name: str, category: str, spec: GraphSpec) -> None:
+        entries.append(SuiteEntry(name=name, category=category, spec=spec))
 
     # --- road grids: high diameter, degree <4 -------------------------------
     road_specs = [
@@ -182,8 +255,8 @@ def build_suite(
         add(
             f"road-{wd}x{ht}-w{mw}",
             "road",
-            lambda wd=wd, ht=ht, mw=mw, seed=seed: grid_road(
-                wd, ht, max_weight=mw, seed=seed
+            GraphSpec.make(
+                "grid_road", width=wd, height=ht, max_weight=mw, seed=seed
             ),
         )
     # a couple of grids with diagonal shortcuts (highway-ish)
@@ -192,8 +265,9 @@ def build_suite(
         add(
             f"road-diag{int(frac * 100)}-{wd}x{ht}",
             "road",
-            lambda wd=wd, ht=ht, frac=frac, seed=seed: grid_road(
-                wd, ht, max_weight=8192, diagonal_fraction=frac, seed=seed
+            GraphSpec.make(
+                "grid_road", width=wd, height=ht, max_weight=8192,
+                diagonal_fraction=frac, seed=seed,
             ),
         )
 
@@ -203,7 +277,7 @@ def build_suite(
         add(
             f"geo-{n}-k{k}",
             "geo",
-            lambda n=n, k=k, seed=seed: random_geometric(n, k=k, seed=seed),
+            GraphSpec.make("random_geometric", n=n, k=k, seed=seed),
         )
 
     # --- RMAT power-law ------------------------------------------------------
@@ -222,8 +296,8 @@ def build_suite(
         add(
             f"rmat{sc}-ef{ef}-w{mw}",
             "rmat",
-            lambda sc=sc, ef=ef, mw=mw, seed=seed: rmat(
-                sc, edge_factor=ef, max_weight=mw, seed=seed
+            GraphSpec.make(
+                "rmat", scale=sc, edge_factor=ef, max_weight=mw, seed=seed
             ),
         )
 
@@ -243,9 +317,7 @@ def build_suite(
         add(
             f"gnm-{n}-d{deg}-w{mw}",
             "random",
-            lambda n=n, m=m, mw=mw, seed=seed: random_gnm(
-                n, m, max_weight=mw, seed=seed
-            ),
+            GraphSpec.make("random_gnm", n=n, m=m, max_weight=mw, seed=seed),
         )
 
     # --- FEM banded meshes -----------------------------------------------------
@@ -261,8 +333,9 @@ def build_suite(
         add(
             f"mesh-{n}-b{band}s{stride}-w{mw}",
             "mesh",
-            lambda n=n, band=band, stride=stride, mw=mw, seed=seed: fem_mesh(
-                n, band=band, stride=stride, max_weight=mw, seed=seed
+            GraphSpec.make(
+                "fem_mesh", n=n, band=band, stride=stride, max_weight=mw,
+                seed=seed,
             ),
         )
 
@@ -271,27 +344,28 @@ def build_suite(
     # weight is dominated by the tail, so a fixed C lands far from the
     # per-graph optimum — the graphs where runtime Δ selection matters.
     skew_specs = [
-        ("mesh-heavy-10000", lambda s=s: fem_mesh(
-            _scaled(10000, s, 256), band=36, stride=3, max_weight=65535,
-            weight_style="heavy", seed=61)),
-        ("mesh-heavy-14000", lambda s=s: fem_mesh(
-            _scaled(14000, s, 256), band=24, stride=2, max_weight=65535,
-            weight_style="heavy", seed=62)),
-        ("gnm-heavy-8000", lambda s=s: random_gnm(
-            _scaled(8000, s, 64), _scaled(32000, s, 256), max_weight=65535,
-            weight_style="heavy", seed=63)),
-        ("gnm-heavy-12000", lambda s=s: random_gnm(
-            _scaled(12000, s, 64), _scaled(48000, s, 256), max_weight=65535,
-            weight_style="heavy", seed=64)),
-        ("cliques-heavy-20x50", lambda s=s: clique_chain(
-            _scaled(20, s, 2), _scaled(50, s**0.5, 6), max_weight=65535,
+        ("mesh-heavy-10000", GraphSpec.make(
+            "fem_mesh", n=_scaled(10000, s, 256), band=36, stride=3,
+            max_weight=65535, weight_style="heavy", seed=61)),
+        ("mesh-heavy-14000", GraphSpec.make(
+            "fem_mesh", n=_scaled(14000, s, 256), band=24, stride=2,
+            max_weight=65535, weight_style="heavy", seed=62)),
+        ("gnm-heavy-8000", GraphSpec.make(
+            "random_gnm", n=_scaled(8000, s, 64), m=_scaled(32000, s, 256),
+            max_weight=65535, weight_style="heavy", seed=63)),
+        ("gnm-heavy-12000", GraphSpec.make(
+            "random_gnm", n=_scaled(12000, s, 64), m=_scaled(48000, s, 256),
+            max_weight=65535, weight_style="heavy", seed=64)),
+        ("cliques-heavy-20x50", GraphSpec.make(
+            "clique_chain", num_cliques=_scaled(20, s, 2),
+            clique_size=_scaled(50, s**0.5, 6), max_weight=65535,
             weight_style="heavy", seed=65)),
-        ("rmat-heavy-12", lambda s=s: rmat(
-            10 + max(0, int(round((s - 1)))) + 2, edge_factor=8,
+        ("rmat-heavy-12", GraphSpec.make(
+            "rmat", scale=10 + max(0, int(round((s - 1)))) + 2, edge_factor=8,
             max_weight=65535, weight_style="heavy", seed=66)),
     ]
-    for nm, fac in skew_specs:
-        add(nm, "skew", fac)
+    for nm, spec in skew_specs:
+        add(nm, "skew", spec)
 
     # --- clique chains -----------------------------------------------------------
     for nc_, cs_, seed in [(12, 40, 38), (30, 60, 39), (8, 90, 40), (50, 25, 41)]:
@@ -299,29 +373,32 @@ def build_suite(
         add(
             f"cliques-{nc}x{cs}",
             "clique",
-            lambda nc=nc, cs=cs, seed=seed: clique_chain(nc, cs, seed=seed),
+            GraphSpec.make("clique_chain", num_cliques=nc, clique_size=cs, seed=seed),
         )
 
     # --- float twins ---------------------------------------------------------------
     if include_float:
         float_bases = [
-            ("road-float", lambda: grid_road(
-                _scaled(80, s**0.5, 8), _scaled(80, s**0.5, 8), max_weight=8192, seed=42
-            ).as_float()),
-            ("rmat-float", lambda: rmat(base_scale + 1, edge_factor=8, seed=43).as_float()),
-            ("mesh-float", lambda: fem_mesh(
-                _scaled(10000, s, 256), band=30, stride=3, seed=44
-            ).as_float()),
-            ("gnm-float", lambda: random_gnm(
-                _scaled(8000, s, 64), _scaled(32000, s, 256), seed=45
-            ).as_float()),
+            ("road-float", GraphSpec.make(
+                "grid_road", width=_scaled(80, s**0.5, 8),
+                height=_scaled(80, s**0.5, 8), max_weight=8192, seed=42,
+                as_float=True)),
+            ("rmat-float", GraphSpec.make(
+                "rmat", scale=base_scale + 1, edge_factor=8, seed=43,
+                as_float=True)),
+            ("mesh-float", GraphSpec.make(
+                "fem_mesh", n=_scaled(10000, s, 256), band=30, stride=3,
+                seed=44, as_float=True)),
+            ("gnm-float", GraphSpec.make(
+                "random_gnm", n=_scaled(8000, s, 64), m=_scaled(32000, s, 256),
+                seed=45, as_float=True)),
         ]
-        for nm, fac in float_bases:
-            add(nm, "float", fac)
+        for nm, spec in float_bases:
+            add(nm, "float", spec)
 
     if include_named:
-        for nm, fac in _named_factories(s).items():
-            add(nm, "named", fac)
+        for nm, spec in _named_specs(s).items():
+            add(nm, "named", spec)
 
     if categories is not None:
         allowed = set(categories)

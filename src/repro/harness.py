@@ -5,18 +5,37 @@ model, collecting :class:`~repro.baselines.common.SSSPResult`s, verifying
 them against each other, and producing the pairwise ratios the paper's
 tables are built from.  ``write_result_files`` emits the artifact's
 ``<solver>_result`` text format.
+
+Since PR 2 the sweep itself runs on :mod:`repro.engine`: ``run_suite``
+plans (graph, solver) cells and hands them to the engine, which executes
+them serially (``jobs=1``, the default — identical to the historic loop)
+or across a process pool, with per-cell timeouts, bounded retries,
+graceful failure records, an on-disk graph cache, and a resumable JSONL
+result store.  The historic ``GPU_SOLVERS``/``TRACEABLE_SOLVERS`` name
+sets are now derived from the registry's capability flags (kept as
+deprecated module attributes for old imports).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.distributions import Distribution, bin_ratios
-from repro.baselines.common import SOLVERS, SSSPResult, get_solver
+from repro.baselines.common import (
+    SSSPResult,
+    get_solver_info,
+    solver_names,
+)
 from repro.calibration import default_cost, default_gpu
-from repro.errors import SolverError, ValidationError
+from repro.engine import (
+    EngineConfig,
+    FailedRun,
+    plan_cells,
+    run_cells,
+)
+from repro.errors import SolverError
 from repro.gpu.costmodel import CostModel
 from repro.gpu.specs import DeviceSpec
 from repro.graphs.csr import CSRGraph
@@ -32,13 +51,20 @@ __all__ = [
     "write_result_files",
 ]
 
-#: Solvers that execute on the simulated GPU (accept spec/cost kwargs).
-GPU_SOLVERS = {"adds", "nf", "gun-nf", "gun-bf", "nv"}
 
-#: Solvers whose execution engine emits trace events (accept a ``tracer``
-#: kwarg): ADDS traces at thread-block granularity, the BSP baselines at
-#: superstep granularity.
-TRACEABLE_SOLVERS = GPU_SOLVERS
+def __getattr__(name: str):
+    """Deprecated aliases for the pre-PR-2 hard-coded name sets.
+
+    ``GPU_SOLVERS``/``TRACEABLE_SOLVERS`` are now *derived* from the
+    capability flags solvers declare at registration time
+    (:func:`repro.baselines.common.register_solver`); query those flags
+    via :func:`repro.baselines.common.solver_names` instead.
+    """
+    if name == "GPU_SOLVERS":
+        return frozenset(solver_names(needs_device=True))
+    if name == "TRACEABLE_SOLVERS":
+        return frozenset(solver_names(traceable=True))
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -50,12 +76,28 @@ class RunRecord:
     results: Dict[str, SSSPResult]
 
     def ratio(self, metric: str, solver_a: str, solver_b: str) -> float:
-        """``b / a`` for time (speedup of a over b) or work."""
+        """``b / a`` for time (speedup of a over b) or work.
+
+        A zero-time or zero-work operand raises :class:`SolverError` —
+        such a result means the solver did not actually run (or its cost
+        model is broken), and fabricating a clamped ratio would silently
+        poison every downstream mean and table.
+        """
         a, b = self.results[solver_a], self.results[solver_b]
         if metric == "time":
-            return b.time_us / max(1e-12, a.time_us)
+            if a.time_us <= 0 or b.time_us <= 0:
+                raise SolverError(
+                    f"cannot form a time ratio on {self.graph}: "
+                    f"{solver_a}={a.time_us}us, {solver_b}={b.time_us}us"
+                )
+            return b.time_us / a.time_us
         if metric == "work":
-            return b.work_count / max(1, a.work_count)
+            if a.work_count <= 0 or b.work_count <= 0:
+                raise SolverError(
+                    f"cannot form a work ratio on {self.graph}: "
+                    f"{solver_a}={a.work_count}, {solver_b}={b.work_count}"
+                )
+            return b.work_count / a.work_count
         raise SolverError(f"unknown metric {metric!r}")
 
 
@@ -65,15 +107,31 @@ class SuiteRun:
 
     records: List[RunRecord] = field(default_factory=list)
     verification_failures: List[str] = field(default_factory=list)
+    #: Cells that produced no result (solver raised / timed out) after
+    #: the engine's bounded retries.  A non-empty list means the sweep's
+    #: aggregates cover fewer cells than requested — never that it died.
+    failures: List[FailedRun] = field(default_factory=list)
+    #: Cells restored from the resume store instead of executed.
+    resumed: int = 0
+
+    def _both(self, solver: str, baseline: str) -> List[RunRecord]:
+        return [
+            r for r in self.records
+            if solver in r.results and baseline in r.results
+        ]
 
     def speedups(self, solver: str, baseline: str) -> List[float]:
-        return [r.ratio("time", solver, baseline) for r in self.records]
+        """Per-graph time ratios, over records where both solvers ran."""
+        return [r.ratio("time", solver, baseline) for r in self._both(solver, baseline)]
 
     def work_ratios(self, solver: str, baseline: str) -> List[float]:
         """ADDS-work / baseline-work convention of Table 4 is baseline
         over solver inverted — Table 4 reports the solver's vertex count
         normalized *to* the baseline, i.e. solver/baseline."""
-        return [1.0 / r.ratio("work", solver, baseline) for r in self.records]
+        return [
+            1.0 / r.ratio("work", solver, baseline)
+            for r in self._both(solver, baseline)
+        ]
 
     def speedup_distribution(self, solver: str, baseline: str, label: str = None) -> Distribution:
         return bin_ratios(
@@ -98,6 +156,13 @@ def run_suite(
     verify_atol: float = 1e-2,
     verify_rtol: float = 1e-5,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
+    timeout_s: Optional[float] = None,
+    max_attempts: int = 2,
+    cache_dir: Optional[Union[str, Path]] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    solver_modules: Tuple[str, ...] = (),
 ) -> SuiteRun:
     """Run ``solvers`` over ``suite`` (default: the full corpus).
 
@@ -106,31 +171,57 @@ def run_suite(
     solver's distances are checked against the first solver's (the
     ``verify_against_*`` step); failures are recorded, not raised, so one
     bad run doesn't lose a whole sweep.
+
+    Engine knobs (see :class:`repro.engine.EngineConfig`):
+
+    - ``jobs`` — worker processes; ``1`` (default) runs in-process and
+      bit-identically to the pre-engine serial loop, ``None``
+      auto-detects from the CPU count.
+    - ``timeout_s``/``max_attempts`` — per-cell budget and bounded retry;
+      exhausted cells land in :attr:`SuiteRun.failures`.
+    - ``cache_dir`` — on-disk graph cache (repeat sweeps skip
+      regeneration).
+    - ``store_path``/``resume`` — incremental JSONL persistence; with
+      ``resume=True`` previously completed cells are restored instead of
+      re-run.
+    - ``solver_modules`` — extra modules imported in every worker so
+      out-of-tree solvers exist in the worker registry.
     """
-    for s in solvers:
-        get_solver(s)  # fail fast on typos
+    solvers = tuple(solvers)
     if suite is None:
         suite = build_suite()
     spec = spec or default_gpu()
     cost = cost or default_cost(spec)
-    solver_options = solver_options or {}
 
-    run = SuiteRun()
+    config = EngineConfig(
+        jobs=jobs,
+        timeout_s=timeout_s,
+        max_attempts=max_attempts,
+        cache_dir=cache_dir,
+        store_path=store_path,
+        resume=resume,
+        solver_modules=solver_modules,
+    )
+    cells = plan_cells(
+        suite, solvers,
+        spec=spec, cost=cost, solver_options=solver_options, config=config,
+    )
+    engine_out = run_cells(cells, config, progress=progress)
+
+    run = SuiteRun(failures=engine_out.failures, resumed=engine_out.resumed)
     for entry in suite:
-        graph = entry.graph()
         results: Dict[str, SSSPResult] = {}
         for name in solvers:
-            fn = get_solver(name)
-            kwargs = dict(solver_options.get(name, {}))
-            if name in GPU_SOLVERS:
-                kwargs.setdefault("spec", spec)
-                kwargs.setdefault("cost", cost)
-            results[name] = fn(graph, entry.source, **kwargs)
-            if progress:
-                progress(f"{entry.name}: {name} done")
+            result = engine_out.results.get((entry.name, name))
+            if result is not None:
+                results[name] = result
+        if not results:
+            continue  # every solver failed on this graph; failures say so
         if verify and len(results) > 1:
-            ref_name = solvers[0]
-            for name in solvers[1:]:
+            ref_name = next(s for s in solvers if s in results)
+            for name in solvers:
+                if name == ref_name or name not in results:
+                    continue
                 mism = verify_results(
                     results[ref_name], results[name],
                     atol=verify_atol, rtol=verify_rtol,
@@ -160,20 +251,20 @@ def run_traced_solve(
 
     Returns ``(result, tracer, paths)`` where ``paths`` is the artifact
     list (``trace.json`` / ``counters.csv`` / ``summary.txt``) written
-    into ``out_dir``, or ``[]`` when ``out_dir`` is None.  Only
-    :data:`TRACEABLE_SOLVERS` emit events; other solvers are rejected
+    into ``out_dir``, or ``[]`` when ``out_dir`` is None.  Only solvers
+    registered ``traceable`` emit events; other solvers are rejected
     loudly rather than producing a silently empty trace.
     """
-    if solver not in TRACEABLE_SOLVERS:
+    info = get_solver_info(solver)
+    if not info.traceable:
         raise SolverError(
             f"solver {solver!r} does not support tracing; "
-            f"pick one of {sorted(TRACEABLE_SOLVERS)}"
+            f"pick one of {solver_names(traceable=True)}"
         )
-    fn = get_solver(solver)
     spec = spec or default_gpu()
     cost = cost or default_cost(spec)
     tracer = Tracer()
-    result = fn(
+    result = info(
         graph, source, spec=spec, cost=cost, tracer=tracer, **solver_kwargs
     )
     paths: List[Path] = []

@@ -1,0 +1,40 @@
+"""Engine-test fixtures.
+
+The fault-injection solvers (``repro.engine.testing``) must never leak
+into the global registry: suite-wide tests iterate every registered
+solver and actually call it, and ``eng-hang`` would hang them.  So the
+module is imported *inside* the fixture and unregistered on teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.suite import GraphSpec, SuiteEntry
+
+
+@pytest.fixture
+def fault_solvers():
+    """Register the eng-* fault solvers for one test, then remove them."""
+    from repro.engine import testing
+
+    testing.register()
+    yield testing
+    testing.unregister()
+
+
+@pytest.fixture
+def mini_suite():
+    """Two small spec-based entries — enough to exercise fan-out."""
+    return [
+        SuiteEntry(
+            name="mini-road",
+            category="road",
+            spec=GraphSpec.make("grid_road", width=8, height=6, seed=3),
+        ),
+        SuiteEntry(
+            name="mini-gnm",
+            category="gnm",
+            spec=GraphSpec.make("random_gnm", n=60, m=240, seed=3),
+        ),
+    ]

@@ -1,0 +1,65 @@
+"""On-disk graph cache: content addressing, hits/misses, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CACHE_FORMAT_VERSION, GraphCache
+from repro.graphs.suite import GraphSpec
+
+
+@pytest.fixture
+def spec():
+    return GraphSpec.make("grid_road", width=8, height=6, seed=3)
+
+
+class TestGraphCache:
+    def test_miss_then_hit(self, spec, tmp_path):
+        cache = GraphCache(tmp_path)
+        g1 = cache.get_or_build(spec)
+        assert (cache.hits, cache.misses) == (0, 1)
+        g2 = cache.get_or_build(spec)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(g1.row_offsets, g2.row_offsets)
+        assert np.array_equal(g1.col_indices, g2.col_indices)
+        assert np.array_equal(g1.weights, g2.weights)
+        assert len(cache) == 1
+
+    def test_hit_across_instances(self, spec, tmp_path):
+        GraphCache(tmp_path).get_or_build(spec)
+        cache = GraphCache(tmp_path)
+        cache.get_or_build(spec)
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_cached_graph_matches_direct_build(self, spec, tmp_path):
+        direct = spec.build()
+        GraphCache(tmp_path).get_or_build(spec)
+        cached = GraphCache(tmp_path).get_or_build(spec)
+        assert np.array_equal(direct.row_offsets, cached.row_offsets)
+        assert np.array_equal(direct.weights, cached.weights)
+
+    def test_params_change_the_key(self, spec, tmp_path):
+        other = GraphSpec.make("grid_road", width=8, height=6, seed=4)
+        assert spec.cache_key() != other.cache_key()
+        cache = GraphCache(tmp_path)
+        cache.get_or_build(spec)
+        cache.get_or_build(other)
+        assert len(cache) == 2 and cache.misses == 2
+
+    def test_rename_applies(self, spec, tmp_path):
+        g = GraphCache(tmp_path).get_or_build(spec, name="renamed")
+        assert g.name == "renamed"
+
+    def test_version_prefix_in_path(self, spec, tmp_path):
+        path = GraphCache(tmp_path).path_for(spec)
+        assert path.name.startswith(f"v{CACHE_FORMAT_VERSION}-")
+
+    def test_corrupt_entry_rebuilt(self, spec, tmp_path):
+        cache = GraphCache(tmp_path)
+        cache.get_or_build(spec)
+        cache.path_for(spec).write_bytes(b"junk, not an npz")
+        fresh = GraphCache(tmp_path)
+        g = fresh.get_or_build(spec)
+        assert fresh.misses == 1  # corrupt file dropped, rebuilt
+        assert g.num_vertices == spec.build().num_vertices

@@ -86,6 +86,7 @@ class TestSolve:
     def test_solve_json_output(self, gr_file, capsys):
         assert main(["solve", gr_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
         assert payload["solver"] == "adds"
         assert payload["reached"] == 108
         assert payload["stats"]["kernel_launches"] == 1
@@ -151,12 +152,42 @@ class TestSuite:
         ])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
         assert payload["solvers"] == ["adds", "nf"]
         rec = payload["records"][0]
         assert set(rec["results"]) == {"adds", "nf"}
         assert rec["results"]["adds"]["time_us"] > 0
         assert payload["speedup"]["baseline"] == "nf"
         assert payload["verification_failures"] == []
+        assert payload["failures"] == []
+        assert payload["resumed"] == 0
+
+    def test_suite_parallel_matches_serial(self, capsys):
+        args = [
+            "suite", "--solvers", "adds,nf", "--categories", "road",
+            "--scale", "0.25", "--max-graphs", "2", "--json",
+        ]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["records"] == parallel["records"]
+        assert serial["speedup"]["values"] == parallel["speedup"]["values"]
+
+    def test_suite_resume_store(self, tmp_path, capsys):
+        store = str(tmp_path / "sweep.jsonl")
+        args = [
+            "suite", "--solvers", "dijkstra", "--categories", "road",
+            "--scale", "0.25", "--max-graphs", "2", "--json",
+            "--resume", store,
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["resumed"] == 0
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["resumed"] == 2
+        assert second["records"] == first["records"]
 
 
 class TestTrace:
@@ -184,6 +215,15 @@ class TestTrace:
     def test_trace_rejects_cpu_solver(self, gr_file):
         with pytest.raises(SystemExit):
             main(["trace", gr_file, "-a", "dijkstra"])
+
+    def test_trace_json_output(self, gr_file, tmp_path, capsys):
+        out = tmp_path / "tr"
+        assert main(["trace", gr_file, "--json", "--out", str(out)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["solver"] == "adds"
+        assert payload["trace"]["events"] > 0
+        assert any(p.endswith("trace.json") for p in payload["artifacts"])
 
 
 class TestParser:

@@ -5,11 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.baselines.common import SSSPResult
 from repro.errors import SolverError
 from repro.graphs import build_suite
 from repro.graphs.suite import SuiteEntry
 from repro.graphs.generators import grid_road
-from repro.harness import run_suite, write_result_files
+from repro.harness import RunRecord, run_suite, write_result_files
 
 
 @pytest.fixture
@@ -74,6 +75,41 @@ class TestRunSuite:
         run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
         with pytest.raises(SolverError):
             run.records[0].ratio("energy", "adds", "nf")
+
+    def test_clean_sweep_has_no_failures(self, tiny_suite):
+        run = run_suite(solvers=("adds", "nf"), suite=tiny_suite)
+        assert run.failures == []
+        assert run.resumed == 0
+
+
+def _fake_result(solver, time_us, work_count):
+    return SSSPResult(
+        solver=solver, graph_name="g", source=0,
+        dist=np.zeros(4), work_count=work_count, time_us=time_us,
+    )
+
+
+class TestRatioValidation:
+    """A zero-time/zero-work operand must raise, never be clamped into a
+    fabricated ratio that silently poisons downstream means."""
+
+    def _record(self, a, b):
+        return RunRecord(graph="g", category="road", results={"a": a, "b": b})
+
+    def test_zero_time_raises(self):
+        rec = self._record(_fake_result("a", 0.0, 5), _fake_result("b", 3.0, 5))
+        with pytest.raises(SolverError, match="time ratio"):
+            rec.ratio("time", "a", "b")
+
+    def test_zero_work_raises(self):
+        rec = self._record(_fake_result("a", 2.0, 0), _fake_result("b", 3.0, 5))
+        with pytest.raises(SolverError, match="work ratio"):
+            rec.ratio("work", "a", "b")
+
+    def test_valid_ratio_unclamped(self):
+        rec = self._record(_fake_result("a", 2.0, 4), _fake_result("b", 3.0, 8))
+        assert rec.ratio("time", "a", "b") == pytest.approx(1.5)
+        assert rec.ratio("work", "a", "b") == pytest.approx(2.0)
 
     def test_default_suite_is_corpus(self):
         assert len(build_suite()) >= 40  # run_suite defaults to this
