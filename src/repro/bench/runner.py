@@ -1,0 +1,277 @@
+"""Run a pinned benchmark matrix and produce a ``BENCH_*.json`` report.
+
+Cells execute one at a time through the :mod:`repro.engine` scheduler
+(serial ``jobs=1`` policy — the bit-identical reference path), each
+repeated ``repeats`` times after one untimed warm-up run that builds the
+graph and warms the per-process memo.  Per cell the report records:
+
+- ``wall_s`` — best (minimum) wall-clock of the timed repeats, measured
+  by the engine around the solve; the minimum is the standard estimator
+  for "how fast can this code go" under scheduler noise;
+- ``time_us`` / ``cycles`` — *simulated* time, which must not move when
+  only host-side performance changes;
+- ``work_count`` / ``reached`` — algorithmic work, same invariance;
+- ``dist_sha256`` — content hash of the little-endian float64 distance
+  buffer, so a compare can prove two trees computed identical results;
+- ``peak_rss_kb`` — the process's high-water RSS after the cell (ru_maxrss
+  is monotonic per process, so this is a running high-water mark, not an
+  isolated per-cell peak; cells run smallest-first within a matrix order
+  so growth is still attributable).
+
+The report is schema-versioned (:data:`BENCH_SCHEMA_VERSION`) and
+documented in ``docs/benchmarks.md`` / ``docs/schema.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.common import RESULT_SCHEMA_VERSION, SSSPResult
+from repro.bench.matrix import matrix_entries, matrix_solvers
+from repro.calibration import default_cost, default_gpu
+from repro.engine import EngineConfig, plan_cells, run_cells
+from repro.errors import ReproError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCell",
+    "BenchReport",
+    "run_bench",
+    "write_report",
+    "load_report",
+]
+
+#: Version of the ``BENCH_*.json`` payload.  Bump on any backwards-
+#: incompatible change to field names or semantics (documented in
+#: ``docs/schema.md``).
+BENCH_SCHEMA_VERSION = 1
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process high-water RSS in KiB, or None where unavailable."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":
+        ru //= 1024
+    return int(ru)
+
+
+def _dist_sha256(dist: np.ndarray) -> str:
+    """Endianness-pinned content hash of the distance vector."""
+    buf = np.ascontiguousarray(dist, dtype=np.float64).astype("<f8")
+    return hashlib.sha256(buf.tobytes()).hexdigest()
+
+
+@dataclass
+class BenchCell:
+    """One (graph, solver) cell's measurements."""
+
+    graph: str
+    category: str
+    solver: str
+    source: int
+    wall_s: float
+    wall_s_runs: List[float]
+    time_us: float
+    cycles: float
+    work_count: int
+    reached: int
+    n_vertices: int
+    dist_sha256: str
+    peak_rss_kb: Optional[int]
+    atomics: int
+    fences: int
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "graph": self.graph,
+            "category": self.category,
+            "solver": self.solver,
+            "source": int(self.source),
+            "wall_s": float(self.wall_s),
+            "wall_s_runs": [float(w) for w in self.wall_s_runs],
+            "time_us": float(self.time_us),
+            "cycles": float(self.cycles),
+            "work_count": int(self.work_count),
+            "reached": int(self.reached),
+            "n_vertices": int(self.n_vertices),
+            "dist_sha256": self.dist_sha256,
+            "peak_rss_kb": self.peak_rss_kb,
+            "atomics": int(self.atomics),
+            "fences": int(self.fences),
+        }
+
+    @property
+    def key(self):
+        return (self.graph, self.solver)
+
+
+@dataclass
+class BenchReport:
+    """A full matrix run: the content of one ``BENCH_<tag>.json``."""
+
+    tag: str
+    matrix: str
+    device: str
+    repeats: int
+    cells: List[BenchCell] = field(default_factory=list)
+    host: Dict[str, str] = field(default_factory=dict)
+    created: Optional[str] = None
+
+    @property
+    def total_wall_s(self) -> float:
+        return float(sum(c.wall_s for c in self.cells))
+
+    def cell(self, graph: str, solver: str) -> BenchCell:
+        for c in self.cells:
+            if c.key == (graph, solver):
+                return c
+        raise ReproError(f"no bench cell ({graph}, {solver}) in {self.tag}")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "tag": self.tag,
+            "matrix": self.matrix,
+            "device": self.device,
+            "repeats": int(self.repeats),
+            "created": self.created,
+            "host": dict(self.host),
+            "totals": {"wall_s": self.total_wall_s},
+            "cells": [c.to_json_dict() for c in self.cells],
+        }
+
+
+def run_bench(
+    matrix: str = "medium",
+    *,
+    tag: str = "local",
+    repeats: int = 3,
+    spec=None,
+    cost=None,
+    warmup: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Execute a pinned matrix; returns the in-memory report.
+
+    ``repeats`` timed runs per cell follow ``warmup`` untimed ones; the
+    reported ``wall_s`` is the minimum over the timed runs.  Simulated
+    metrics (``time_us``, ``work_count``, distances) are asserted
+    identical across repeats — the simulator is deterministic, and a
+    repeat that disagrees means the tree itself is broken, which must
+    fail the benchmark rather than average out.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1 (got {repeats})")
+    spec = spec or default_gpu()
+    cost = cost or default_cost(spec)
+    notify = progress or (lambda msg: None)
+
+    entries = matrix_entries(matrix)
+    solvers = matrix_solvers(matrix)
+    config = EngineConfig(jobs=1)
+    cells = plan_cells(entries, solvers, spec=spec, cost=cost, config=config)
+
+    report = BenchReport(
+        tag=tag,
+        matrix=matrix,
+        device=spec.name,
+        repeats=repeats,
+        host={
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    )
+
+    for cell in cells:
+        walls: List[float] = []
+        reference: Optional[SSSPResult] = None
+        for rep in range(warmup + repeats):
+            out = run_cells([cell], config)
+            if out.failures:
+                raise ReproError(
+                    f"bench cell {cell.key} failed: "
+                    f"{out.failures[0].describe()}"
+                )
+            result = out.results[cell.key]
+            if rep < warmup:
+                continue  # graph build + allocator warm-up, not timed
+            walls.append(out.timings[cell.key])
+            if reference is None:
+                reference = result
+            else:
+                if (
+                    result.time_us != reference.time_us
+                    or result.work_count != reference.work_count
+                    or not np.array_equal(result.dist, reference.dist)
+                ):
+                    raise ReproError(
+                        f"bench cell {cell.key} is non-deterministic: "
+                        f"repeat {rep - warmup} disagrees with repeat 0"
+                    )
+        stats = reference.stats or {}
+        report.cells.append(
+            BenchCell(
+                graph=cell.graph_name,
+                category=cell.category,
+                solver=cell.solver,
+                source=cell.source,
+                wall_s=min(walls),
+                wall_s_runs=walls,
+                time_us=float(reference.time_us),
+                cycles=float(spec.us_to_cycles(reference.time_us)),
+                work_count=int(reference.work_count),
+                reached=reference.reached(),
+                n_vertices=int(reference.dist.size),
+                dist_sha256=_dist_sha256(reference.dist),
+                peak_rss_kb=_peak_rss_kb(),
+                atomics=int(stats.get("atomics", 0)),
+                fences=int(stats.get("fences", 0)),
+            )
+        )
+        notify(
+            f"{cell.graph_name}: {cell.solver} "
+            f"wall {min(walls) * 1e3:.1f} ms, sim {reference.time_us:.1f} us"
+        )
+    return report
+
+
+def write_report(report: BenchReport, out_dir: Union[str, Path] = ".") -> Path:
+    """Write ``BENCH_<tag>.json`` into ``out_dir``; returns the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{report.tag}.json"
+    with open(path, "w") as fh:
+        json.dump(report.to_json_dict(), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, object]:
+    """Load a ``BENCH_*.json`` payload, validating its schema version."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "bench_schema" not in payload:
+        raise ReproError(f"{path} is not a bench report")
+    if payload["bench_schema"] != BENCH_SCHEMA_VERSION:
+        raise ReproError(
+            f"{path}: bench schema {payload['bench_schema']} is not the "
+            f"supported version {BENCH_SCHEMA_VERSION}"
+        )
+    return payload

@@ -6,6 +6,7 @@ Subcommands mirror how the paper's artifact is driven:
 - ``info``     — Table-2-style statistics for a graph file
 - ``solve``    — run one solver on one graph (the ``ads_int``-style binary)
 - ``suite``    — run solvers over the built-in corpus (``run_all.sh``)
+- ``bench``    — run a pinned benchmark matrix; emit/compare ``BENCH_*.json``
 - ``trace``    — run one solver with tracing on; write Perfetto/CSV artifacts
 - ``verify``   — compare two ``*_final_dist`` files (``verify.py``)
 - ``convert``  — convert between text DIMACS and binary GR
@@ -35,6 +36,13 @@ from repro.baselines.common import (
     SolveRequest,
     get_solver_info,
     solver_names,
+)
+from repro.bench import (
+    MATRICES,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
 )
 from repro.calibration import sim_cost, sim_gpu
 from repro.errors import ReproError
@@ -248,6 +256,58 @@ def cmd_suite(ns) -> int:
     return 1 if run.verification_failures else 0
 
 
+def cmd_bench(ns) -> int:
+    spec, cost = _device_args(ns)
+    progress = None
+    if ns.verbose:
+        progress = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
+    report = run_bench(
+        ns.matrix,
+        tag=ns.tag,
+        repeats=ns.repeats,
+        spec=spec,
+        cost=cost,
+        progress=progress,
+    )
+    path = write_report(report, ns.out)
+    comparison = None
+    if ns.compare:
+        comparison = compare_reports(
+            load_report(ns.compare), report, threshold_pct=ns.threshold
+        )
+    if ns.json:
+        payload = report.to_json_dict()
+        payload["report_file"] = str(path)
+        if comparison is not None:
+            payload["compare"] = {
+                "baseline": str(ns.compare),
+                "threshold_pct": comparison.threshold_pct,
+                "total_change_pct": comparison.total_change_pct,
+                "regressions": [d.describe() for d in comparison.regressions],
+                "mismatches": list(comparison.mismatches),
+                "missing": [f"{g}/{s}" for g, s in comparison.missing],
+                "ok": comparison.ok,
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        for cell in report.cells:
+            print(
+                f"{cell.graph:28s} {cell.solver:6s} "
+                f"wall {cell.wall_s * 1e3:8.1f} ms   "
+                f"sim {cell.time_us:10.1f} us   work {cell.work_count}"
+            )
+        print(
+            f"matrix {report.matrix}: {len(report.cells)} cells, "
+            f"total wall {report.total_wall_s * 1e3:.1f} ms -> {path}"
+        )
+        if comparison is not None:
+            for line in comparison.summary_lines():
+                print(line)
+    if comparison is not None and not comparison.ok:
+        return 1
+    return 0
+
+
 def cmd_trace(ns) -> int:
     g = _load_graph(ns.graph, ns.float)
     spec, cost = _device_args(ns)
@@ -383,6 +443,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "are restored instead of re-run")
     _add_device_flags(r)
     r.set_defaults(fn=cmd_suite)
+
+    b = sub.add_parser(
+        "bench",
+        help="run a pinned benchmark matrix; emit/compare BENCH_<tag>.json",
+    )
+    b.add_argument("--tag", default="local",
+                   help="report name: BENCH_<tag>.json")
+    b.add_argument("--matrix", choices=sorted(MATRICES), default="medium")
+    b.add_argument("--repeats", type=int, default=3,
+                   help="timed runs per cell (wall_s is the minimum)")
+    b.add_argument("--out", default=".",
+                   help="directory for the BENCH_<tag>.json report")
+    b.add_argument("--compare", metavar="BASELINE",
+                   help="gate against a baseline BENCH_*.json; exit non-zero "
+                        "on regression past --threshold")
+    b.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                   help="allowed wall-clock regression percent (default 10)")
+    b.add_argument("--verbose", "-v", action="store_true")
+    b.add_argument("--json", action="store_true",
+                   help="emit the report (plus compare verdict) as JSON")
+    _add_device_flags(b)
+    b.set_defaults(fn=cmd_bench)
 
     t = sub.add_parser(
         "trace", help="run one solver with tracing; write Perfetto artifacts"

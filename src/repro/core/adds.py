@@ -65,6 +65,11 @@ class AddsState:
     outstanding_edges: float = 0.0
     head_switches: int = 0
     delta_trace: List[Tuple[float, float]] = field(default_factory=list)
+    #: int64/float64 twins of the CSR arrays — the relax path consumes
+    #: these dtypes, so cast once per solve instead of once per batch.
+    #: Optional so hand-built states (tests) fall back to per-WTB casts.
+    col64: Optional[np.ndarray] = None
+    w64: Optional[np.ndarray] = None
 
 
 def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
@@ -182,6 +187,8 @@ def solve_adds(
         af_end=np.zeros(n_wtbs, dtype=np.int64),
         af_epoch=np.zeros(n_wtbs, dtype=np.int64),
         af_edges=np.zeros(n_wtbs, dtype=np.float64),
+        col64=graph.col_indices.astype(np.int64),
+        w64=graph.weights.astype(np.float64),
     )
 
     # Seed: each source is one work item in the head bucket at distance 0.

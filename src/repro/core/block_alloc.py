@@ -175,6 +175,13 @@ class BucketStorage:
                 f"bucket {self.name}: write [{start}, {start + k}) outside "
                 f"allocated range"
             )
+        vblock, off = divmod(start, self.slots_per_block)
+        if off + k <= self.slots_per_block:
+            # common case: the whole range lands in one block
+            blkstore = self.pool.storage[self._table[vblock]]
+            blkstore[off : off + k, 0] = vertices
+            blkstore[off : off + k, 1] = payloads
+            return
         pos = 0
         idx = start
         while pos < k:
@@ -192,6 +199,18 @@ class BucketStorage:
         if k <= 0:
             e = np.empty(0, dtype=np.int64)
             return e, e.copy()
+        vblock, off = divmod(start, self.slots_per_block)
+        if off + k <= self.slots_per_block:
+            blk = self._table.get(vblock)
+            if blk is None:
+                raise ProtocolError(
+                    f"bucket {self.name}: read of unallocated slot {start}"
+                )
+            blkstore = self.pool.storage[blk]
+            return (
+                blkstore[off : off + k, 0].copy(),
+                blkstore[off : off + k, 1].copy(),
+            )
         verts = np.empty(k, dtype=np.int64)
         pays = np.empty(k, dtype=np.int64)
         pos = 0

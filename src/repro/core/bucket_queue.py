@@ -29,7 +29,7 @@ single GR payload word).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,7 +81,15 @@ class BucketQueue:
         # bucket rotated (possible only under unsafe_rotation) is dropped
         # from the recycled bucket's CWC but still counts globally.
         self.epoch = np.zeros(nb, dtype=np.int64)
-        self.wcc: List[Dict[int, int]] = [dict() for _ in range(nb)]
+        # Per-bucket segment WCC counters, indexed by segment number.
+        # Dense int64 arrays (grown on demand as buckets gain capacity)
+        # instead of dicts: publish and readable_upper operate on whole
+        # segment ranges, which a dict forces into per-segment Python
+        # loops on the hottest writer/reader paths.
+        self.wcc: List[np.ndarray] = [
+            np.zeros(self._initial_segments(), dtype=np.int64)
+            for _ in range(nb)
+        ]
         self.storage = [
             BucketStorage(pool, config.slots_per_block, name=f"b{i}")
             for i in range(nb)
@@ -105,6 +113,19 @@ class BucketQueue:
         # observability (zero-cost unless attach_tracer enables it)
         self._tracer: Tracer = NULL_TRACER
         self._clock: Callable[[], float] = lambda: 0.0
+
+    def _initial_segments(self) -> int:
+        """WCC array size covering one storage block's worth of slots."""
+        return max(1, -(-self.config.slots_per_block // self.segment_size))
+
+    def _wcc_through(self, slot: int, last_seg: int) -> np.ndarray:
+        """The bucket's WCC array, grown (×2 amortized) to index ``last_seg``."""
+        wcc = self.wcc[slot]
+        if last_seg >= wcc.size:
+            grown = np.zeros(max(last_seg + 1, 2 * wcc.size), dtype=np.int64)
+            grown[: wcc.size] = wcc
+            self.wcc[slot] = wcc = grown
+        return wcc
 
     def attach_tracer(
         self, tracer: Optional[Tracer], clock: Callable[[], float]
@@ -138,9 +159,15 @@ class BucketQueue:
         rel = np.floor_divide(dists - self.base_dist, self.delta).astype(np.int64)
         low = rel < 0
         high = rel > self.n_buckets - 1
-        self.low_clips += int(low.sum())
-        self.high_clips += int(high.sum())
-        return np.clip(rel, 0, self.n_buckets - 1)
+        n_low = int(np.count_nonzero(low))
+        n_high = int(np.count_nonzero(high))
+        if n_low:
+            self.low_clips += n_low
+            rel[low] = 0
+        if n_high:
+            self.high_clips += n_high
+            rel[high] = self.n_buckets - 1
+        return rel
 
     # ------------------------------------------------------------------ #
     # writer (WTB) side
@@ -153,7 +180,7 @@ class BucketQueue:
         start = self.mem.atomic_add(self.resv, slot, k)
         self.total_pushed += k
         self.pushes_since_check += k
-        if self.rel_of(slot) == self.n_buckets - 1:
+        if (slot - self.head) % self.n_buckets == self.n_buckets - 1:
             self.tail_pushes_since_check += k
         return int(start)
 
@@ -171,18 +198,30 @@ class BucketQueue:
             return 0
         self.storage[slot].write_range(start, vertices, encode_dist(dists))
         self.mem.fence()  # items fully written before WCC increments
-        first = start // self.segment_size
-        last = (start + k - 1) // self.segment_size
-        wcc = self.wcc[slot]
-        for seg in range(first, last + 1):
-            seg_lo = max(start, seg * self.segment_size)
-            seg_hi = min(start + k, (seg + 1) * self.segment_size)
-            wcc[seg] = wcc.get(seg, 0) + (seg_hi - seg_lo)
-            if wcc[seg] > self.segment_size:
+        ss = self.segment_size
+        first = start // ss
+        last = (start + k - 1) // ss
+        wcc = self._wcc_through(slot, last)
+        if first == last:
+            self.mem.atomic_add(wcc, first, k)
+            if wcc[first] > ss:
+                raise ProtocolError(
+                    f"bucket {slot}: segment {first} WCC {wcc[first]} exceeds N"
+                )
+        else:
+            # contribution per touched segment: partial ends, full middle
+            counts = np.full(last - first + 1, ss, dtype=np.int64)
+            counts[0] = (first + 1) * ss - start
+            counts[-1] = (start + k) - last * ss
+            self.mem.atomic_add_batch(
+                wcc, np.arange(first, last + 1), counts
+            )
+            seg_counts = wcc[first : last + 1]
+            if int(seg_counts.max()) > ss:
+                seg = first + int((seg_counts > ss).argmax())
                 raise ProtocolError(
                     f"bucket {slot}: segment {seg} WCC {wcc[seg]} exceeds N"
                 )
-            self.mem.stats.atomics += 1
         if self._tracer.enabled:
             self._tracer.instant(
                 "queue", "bucket_push", self._clock(), cat="queue",
@@ -220,27 +259,34 @@ class BucketQueue:
         r = int(self.read[slot])
         self.mem.fence()
         resv = int(self.resv[slot])
-        upper = r
-        seg = r // self.segment_size
-        scanned = 0
+        if r >= resv:
+            return r, 0
+        ss = self.segment_size
         wcc = self.wcc[slot]
-        while upper < resv:
-            scanned += 1
-            seg_start = seg * self.segment_size
-            count = wcc.get(seg, 0)
-            if count == self.segment_size:
-                # fully written segment: every slot is safe
-                upper = seg_start + self.segment_size
-                seg += 1
-                continue
+        seg0 = r // ss
+        seg_end = -(-resv // ss)  # exclusive: ceil(resv / ss)
+        # The leading run of fully-written segments is safe wholesale; a
+        # reservation-only segment past the WCC array's extent counts 0.
+        window = wcc[seg0 : min(seg_end, wcc.size)]
+        if window.size:
+            not_full = window != ss
+            i = int(not_full.argmax())
+            n_full = i if not_full[i] else int(window.size)
+        else:
+            n_full = 0
+        scanned = n_full
+        upper = max(r, (seg0 + n_full) * ss)
+        if upper < resv:
             # partial segment: trust it only if WCC accounts for every
             # reservation made in it (re-read resv after a fence so the
             # comparison is not against a stale pointer)
+            scanned += 1
+            seg = seg0 + n_full
+            count = int(wcc[seg]) if seg < wcc.size else 0
             self.mem.fence()
             resv = int(self.resv[slot])
-            if seg_start + count == resv and resv > upper:
+            if seg * ss + count == resv and resv > upper:
                 upper = resv
-            break
         if upper > resv:
             raise ProtocolError(
                 f"bucket {slot}: readable upper {upper} beyond resv {resv}"
@@ -289,7 +335,7 @@ class BucketQueue:
         # CWC may lag resv under unsafe rotation; the epoch bump reroutes
         # those late completions to the global counter only.
         self.storage[slot].reset()
-        self.wcc[slot].clear()
+        self.wcc[slot].fill(0)
         self.resv[slot] = 0
         self.read[slot] = 0
         self.cwc[slot] = 0

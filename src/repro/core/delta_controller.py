@@ -59,7 +59,7 @@ class DeltaController:
     #: Bellman-Ford — the failure §6.4 credits ADDS with avoiding
     #: ("not letting the behavior degenerate into a Bellman-Ford
     #: solution").
-    util_at_growth: float = None
+    util_at_growth: Optional[float] = None
     growth_frozen: bool = False
     history: List[Tuple[int, float]] = field(default_factory=list)
     #: observability hooks (see attach_tracer); excluded from comparisons
@@ -151,8 +151,13 @@ class DeltaController:
         elif u < self.config.util_low:
             # starved even with extra buckets open: coarsen for parallelism
             if self.util_at_growth is not None and not self.growth_frozen:
-                # the previous growth has settled; did it help?
-                if u <= self.utilization(self.util_at_growth) * 1.25:
+                # the previous growth has settled; did it help?  A zero
+                # baseline (growth applied before any work was in flight)
+                # can't answer that — any u satisfies ``u <= 0 * 1.25``
+                # only vacuously at u == 0, and freezing on it would lock
+                # Δ at its startup value forever.
+                baseline = self.utilization(self.util_at_growth)
+                if baseline > 0.0 and u <= baseline * 1.25:
                     # No: this graph has no more parallelism to expose.
                     # Revert the wasted growth (it only relaxed ordering)
                     # and freeze — the paper's "avoid overshooting the

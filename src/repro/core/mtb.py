@@ -63,29 +63,37 @@ def mtb_program(state):
         assigned_items = 0
 
         # ---- 1. memory management ------------------------------------------
-        for slot in range(q.n_buckets):
-            resv = int(q.resv[slot])
-            if resv or slot == q.head:
-                q.storage[slot].ensure_capacity(resv + lookahead)
+        # Only buckets with reservations (plus the head, which must stay
+        # pre-grown) can hold storage blocks: a bucket leaves ``resv == 0``
+        # only via reset, which drops its blocks.  Scanning the other ~30
+        # empty slots every pass was a top host-side hot spot.
+        for slot in q.resv.nonzero()[0].tolist():
+            q.storage[slot].ensure_capacity(int(q.resv[slot]) + lookahead)
             q.retire_read_blocks(slot)
+        if not q.resv[q.head]:
+            q.storage[q.head].ensure_capacity(lookahead)
+            q.retire_read_blocks(q.head)
 
         # ---- 2. scan + assign ------------------------------------------------
-        idle = [w for w in range(n_wtbs) if af_state[w] == AF_IDLE]
+        idle = (af_state == AF_IDLE).nonzero()[0].tolist()
         for rel in range(ctrl.active_buckets):
             if not idle:
                 break
             slot = q.slot_of(rel)
             upper, scanned = q.readable_upper(slot)
             segments_scanned += scanned
-            while idle and int(q.read[slot]) < upper:
-                start = int(q.read[slot])
+            rd = int(q.read[slot])
+            epoch_s = int(q.epoch[slot])
+            while idle and rd < upper:
+                start = rd
                 end = min(start + chunk_items, upper)
                 q.advance_read(slot, end)
+                rd = end
                 wid = idle.pop()
                 state.af_slot[wid] = slot
                 state.af_start[wid] = start
                 state.af_end[wid] = end
-                state.af_epoch[wid] = int(q.epoch[slot])
+                state.af_epoch[wid] = epoch_s
                 est_edges = (end - start) * avg_deg
                 state.af_edges[wid] = est_edges
                 state.outstanding_edges += est_edges
@@ -109,19 +117,16 @@ def mtb_program(state):
                 # Even the broken variant cannot recycle storage a WTB is
                 # still reading from — the paper's failure mode is spawned
                 # work landing in a rotated band, not a use-after-free.
-                pinned = any(
-                    af_state[w] == AF_ASSIGNED and int(state.af_slot[w]) == head
-                    for w in range(n_wtbs)
+                pinned = bool(
+                    np.any((af_state == AF_ASSIGNED) & (state.af_slot == head))
                 )
                 if pinned:
                     break
             elif not q.bucket_drained(head):
                 break
-            pending_elsewhere = any(
-                int(q.resv[s]) > int(q.read[s])
-                for s in range(q.n_buckets)
-                if s != head
-            )
+            unread = q.resv > q.read
+            unread[head] = False
+            pending_elsewhere = bool(unread.any())
             in_flight = state.outstanding_edges > 0 or q.outstanding() > 0
             if not (pending_elsewhere or in_flight):
                 break  # nothing left anywhere: rotating forever is pointless
@@ -151,9 +156,9 @@ def mtb_program(state):
         # ---- 5. termination ---------------------------------------------------------
         queue_empty = (
             assignments == 0
-            and all(int(q.resv[s]) == int(q.read[s]) for s in range(q.n_buckets))
             and q.outstanding() == 0
-            and all(af_state[w] == AF_IDLE for w in range(n_wtbs))
+            and bool(np.array_equal(q.resv, q.read))
+            and bool((af_state == AF_IDLE).all())
         )
         if queue_empty:
             empty_sweeps += 1

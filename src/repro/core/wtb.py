@@ -25,6 +25,8 @@ it does on hardware.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from repro.graphs.csr import expand_frontier
@@ -40,57 +42,76 @@ def wtb_program(state, wid: int):
     """Generator program for worker ``wid`` over the shared solver state."""
     dev = state.device
     cost = dev.cost
+    mem = dev.mem
     q = state.queue
     graph = state.graph
+    dist = state.dist
+    pred_out = state.pred
     af_state = state.af_state
+    af_slot = state.af_slot
+    af_start = state.af_start
+    af_end = state.af_end
+    af_epoch = state.af_epoch
+    float_weights = state.float_weights
     avg_deg = max(graph.average_degree(), 1.0)
     tracer = dev.tracer
     track = f"WTB{wid}"
+    # Pre-cast CSR view: expand_frontier's output feeds float64 distance
+    # math and int64 atomics, so gathering from 64-bit twins of the CSR
+    # arrays skips two per-batch ``astype`` copies.  Values are identical
+    # (int32→int64 and int32/float32→float64 are exact).
+    col64 = state.col64 if state.col64 is not None else graph.col_indices.astype(np.int64)
+    w64 = state.w64 if state.w64 is not None else graph.weights.astype(np.float64)
+    exp_graph = SimpleNamespace(
+        row_offsets=graph.row_offsets, col_indices=col64, weights=w64
+    )
+    assigned = lambda: af_state[wid] != AF_IDLE  # noqa: E731 - hot predicate
 
     while True:
-        yield ("wait", lambda: af_state[wid] != AF_IDLE)
+        yield ("wait", assigned)
         if af_state[wid] == AF_STOP:
             return
 
-        slot = int(state.af_slot[wid])
-        start = int(state.af_start[wid])
-        end = int(state.af_end[wid])
-        epoch = int(state.af_epoch[wid])
+        slot = int(af_slot[wid])
+        start = int(af_start[wid])
+        end = int(af_end[wid])
+        epoch = int(af_epoch[wid])
         k = end - start
 
         verts, pushed = q.read_items(slot, start, end)
         # stale check: the pushed distance is current iff the vertex has
         # not improved since (distances only decrease)
-        cur = state.dist[verts]
+        cur = dist[verts]
         live = pushed <= cur
-        live_verts = verts[live]
+        n_live = int(np.count_nonzero(live))
+        live_verts = verts if n_live == k else verts[live]
 
-        srcs, dsts, ws = expand_frontier(graph, live_verts)
+        srcs, dsts, ws = expand_frontier(exp_graph, live_verts)
         edges = int(dsts.size)
-        latency = cost.wtb_batch_latency(edges, float_weights=state.float_weights)
+        latency = cost.wtb_batch_latency(edges, float_weights=float_weights)
         nbytes = cost.wtb_batch_bytes(edges, avg_deg)
         # Distance updates commit as the batch runs (hardware atomics are
         # visible to concurrently running blocks), so they are applied at
         # dispatch; the *work items* this batch spawns only become visible
         # when the push instructions + WCC increments execute, i.e. after
         # the batch's duration below.
-        state.work_count += int(live_verts.size)
+        state.work_count += n_live
         new_v = np.empty(0, dtype=np.int64)
         if edges:
-            cand = state.dist[srcs] + ws.astype(np.float64)
-            winners = dev.mem.atomic_min_batch(
-                state.dist,
-                dsts.astype(np.int64),
+            cand = dist[srcs] + ws
+            winners = mem.atomic_min_batch(
+                dist,
+                dsts,
                 cand,
                 payload=srcs,
-                payload_out=state.pred,
+                payload_out=pred_out,
             )
-            new_v = dsts[winners].astype(np.int64)
+            new_v = dsts[winners]
 
         if tracer.enabled:
             dev.annotate(
                 "relax_batch", bucket=slot, items=k,
-                live=int(live_verts.size), stale=k - int(live_verts.size),
+                live=n_live, stale=k - n_live,
                 wins=int(new_v.size),
             )
         yield ("relax", latency, edges, nbytes)
@@ -98,30 +119,36 @@ def wtb_program(state, wid: int):
         # ---- publication at batch completion ---------------------------------
         if edges:
             if new_v.size:
-                new_d = state.dist[new_v]
+                new_d = dist[new_v]
                 rel = q.rel_bands_for(new_d)
                 slots = (q.head + rel) % q.n_buckets
                 push_cost = 0.0
-                for s in np.unique(slots):
-                    sel = slots == s
-                    vs = new_v[sel]
-                    ds = new_d[sel]
+                s0 = int(slots[0])
+                if not (slots != s0).any():
+                    # common case: the whole batch lands in one band
+                    groups = ((s0, new_v, new_d),)
+                else:
+                    groups = tuple(
+                        (int(s), new_v[slots == s], new_d[slots == s])
+                        for s in np.unique(slots)
+                    )
+                for s, vs, ds in groups:
                     kk = int(vs.size)
-                    idx0 = q.reserve(int(s), kk)
-                    if q.capacity(int(s)) < idx0 + kk:
+                    idx0 = q.reserve(s, kk)
+                    if q.capacity(s) < idx0 + kk:
                         # block not allocated yet: wait for the MTB
                         # (bind loop variables via defaults)
                         if tracer.enabled:
                             tracer.instant(
                                 track, "alloc_wait", dev.now_us, cat="alloc",
-                                bucket=int(s), need=idx0 + kk,
-                                capacity=q.capacity(int(s)),
+                                bucket=s, need=idx0 + kk,
+                                capacity=q.capacity(s),
                             )
                         yield (
                             "wait",
-                            lambda s=int(s), need=idx0 + kk: q.capacity(s) >= need,
+                            lambda s=s, need=idx0 + kk: q.capacity(s) >= need,
                         )
-                    segs = q.publish(int(s), idx0, vs, ds)
+                    segs = q.publish(s, idx0, vs, ds)
                     push_cost += cost.atomic_cycles * (1 + segs) + 4.0 * kk
                 yield ("busy", push_cost)
 

@@ -157,6 +157,10 @@ class EngineResult:
     #: Distinct cells that reached a final outcome this run (retried
     #: attempts of the same cell count once).
     executed: int = 0
+    #: ``(graph_name, solver) -> wall seconds`` of the successful attempt,
+    #: measured in the worker around graph materialization + solve.
+    #: Resumed cells have no timing (they were not executed this run).
+    timings: Dict[Tuple[str, str], float] = field(default_factory=dict)
 
 
 # --------------------------------------------------------------------- #
@@ -356,6 +360,7 @@ def run_cells(
         if kind == "ok":
             result = detail
             out.results[cell.key] = result
+            out.timings[cell.key] = float(elapsed)
             out.executed += 1
             if store is not None:
                 store.append_result(cell.category, result)

@@ -96,21 +96,42 @@ class CostModel:
 
     # ------------------------------------------------------------------ #
 
+    def __post_init__(self) -> None:
+        # Derived coefficients sit on the per-event hot path (every relax
+        # and every MTB pass prices a batch); compute them once per model
+        # instead of per call.  ``object.__setattr__`` because the
+        # dataclass is frozen; none of these are fields, so eq/hash and
+        # ``with_overrides`` are unaffected.
+        object.__setattr__(
+            self, "_launch_cycles", self.spec.us_to_cycles(self.kernel_launch_us)
+        )
+        object.__setattr__(
+            self,
+            "_atomic_by_fw",
+            (self.atomic_cycles, self.atomic_cycles * self.float_atomic_multiplier),
+        )
+        object.__setattr__(self, "_edge_bytes_memo", {})
+
     def with_overrides(self, **kw) -> "CostModel":
         """A copy with some constants replaced (ablations, sensitivity)."""
         return replace(self, **kw)
 
     def effective_edge_bytes(self, avg_degree: float) -> float:
         """DRAM bytes per relaxed edge after the divergence penalty."""
-        d = max(avg_degree, 1.0)
-        return self.base_edge_bytes * (1.0 + self.coalesce_penalty / d)
+        memo = self._edge_bytes_memo
+        v = memo.get(avg_degree)
+        if v is None:
+            d = max(avg_degree, 1.0)
+            v = self.base_edge_bytes * (1.0 + self.coalesce_penalty / d)
+            memo[avg_degree] = v
+        return v
 
     def peak_edge_rate(self, avg_degree: float) -> float:
         """Bandwidth-bound edges per cycle for the whole device."""
         return self.spec.bytes_per_cycle / self.effective_edge_bytes(avg_degree)
 
     def kernel_launch_cycles(self) -> float:
-        return self.spec.us_to_cycles(self.kernel_launch_us)
+        return self._launch_cycles
 
     # -- BSP supersteps (Near-Far, Bellman-Ford, NV) ---------------------- #
 
@@ -141,7 +162,7 @@ class CostModel:
         waves = math.ceil(edges / threads)
         latency_bound = self.edge_latency_cycles * waves
         bw_bound = edges * self.effective_edge_bytes(avg_degree) / self.spec.bytes_per_cycle
-        atomic = self.atomic_cycles * (self.float_atomic_multiplier if float_weights else 1.0)
+        atomic = self._atomic_by_fw[bool(float_weights)]
         # Atomics pipeline across threads; only the per-wave depth shows up.
         latency_bound += atomic * waves
         return launch + max(latency_bound, bw_bound, self.min_batch_cycles)
@@ -170,7 +191,7 @@ class CostModel:
         latency_bound = self.edge_latency_cycles * waves
         share = self.spec.bytes_per_cycle / max(1, concurrent_blocks)
         bw_bound = edges * self.effective_edge_bytes(avg_degree) / share
-        atomic = self.atomic_cycles * (self.float_atomic_multiplier if float_weights else 1.0)
+        atomic = self._atomic_by_fw[bool(float_weights)]
         return max(latency_bound + atomic, bw_bound, self.min_batch_cycles)
 
     def wtb_batch_latency(
@@ -182,9 +203,7 @@ class CostModel:
         separately by the device's reservation clock."""
         tpb = self.spec.threads_per_block
         waves = max(1, math.ceil(max(edges, 1) / tpb))
-        atomic = self.atomic_cycles * (
-            self.float_atomic_multiplier if float_weights else 1.0
-        )
+        atomic = self._atomic_by_fw[bool(float_weights)]
         return max(self.edge_latency_cycles * waves + atomic, self.min_batch_cycles)
 
     def wtb_batch_bytes(self, edges: int, avg_degree: float) -> float:

@@ -107,6 +107,9 @@ class Device:
         self.tracer = coalesce(tracer)
         self.timeline = Timeline(label=spec.name)
         self.now: float = 0.0  # cycles
+        # Same divisor as DeviceSpec.cycles_to_us, hoisted: now_us sits on
+        # the per-event path and must stay bit-identical to the spec math.
+        self._cycles_per_us = spec.max_clock_ghz * 1e3
         self.max_events = max_events
         self._blocks: List[BlockContext] = []
         self._heap: List[Tuple[float, int, BlockContext]] = []
@@ -141,7 +144,7 @@ class Device:
 
     @property
     def now_us(self) -> float:
-        return self.spec.cycles_to_us(self.now)
+        return self.now / self._cycles_per_us
 
     def active_relax_blocks(self) -> int:
         """Blocks currently inside a ``relax`` event (bandwidth sharers)."""
@@ -191,17 +194,21 @@ class Device:
         self._ran = True
         for ctx in self._blocks:
             self._schedule(ctx, self.now)
-        while self._heap or self._waiting:
-            if not self._heap:
+        heappop = heapq.heappop
+        heap = self._heap
+        while heap or self._waiting:
+            if not heap:
                 self._wake_waiters()
-                if not self._heap:
+                if not heap:
                     waiters = ", ".join(c.name for c, _ in self._waiting)
                     raise DeviceError(f"deadlock: blocks waiting forever: {waiters}")
                 continue
-            t, _, ctx = heapq.heappop(self._heap)
-            self.now = max(self.now, t)
+            t, _, ctx = heappop(heap)
+            if t > self.now:
+                self.now = t
             self._step(ctx)
-            self._wake_waiters()
+            if self._waiting:
+                self._wake_waiters()
         return self.now
 
     # -- internals --------------------------------------------------------------- #
@@ -210,7 +217,15 @@ class Device:
         heapq.heappush(self._heap, (t, next(self._seq), ctx))
 
     def _wake_waiters(self) -> None:
-        if not self._waiting:
+        waiting = self._waiting
+        if not waiting:
+            return
+        # Fast path: most completions wake nobody; avoid rebuilding the
+        # list (predicates are pure reads, so re-evaluating is safe).
+        for _, pred in waiting:
+            if pred():
+                break
+        else:
             return
         still: List[Tuple[BlockContext, Callable[[], bool]]] = []
         for ctx, pred in self._waiting:
@@ -242,7 +257,7 @@ class Device:
                 "likely a livelock in a block program"
             )
         # Complete the effects of the event that just elapsed.
-        pending = getattr(ctx, "_pending_relax", None)
+        pending = ctx._pending_relax
         if pending is not None:
             self._finish_relax(pending)
             ctx._pending_relax = None

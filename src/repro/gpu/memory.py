@@ -69,9 +69,22 @@ class SimMemory:
     def atomic_add(self, arr: np.ndarray, index: int, value) -> int:
         """``atomicAdd``: add, return the *old* value."""
         self.stats.atomics += 1
-        old = arr[index]
+        old = arr[index].item()
         arr[index] = old + value
-        return old.item() if hasattr(old, "item") else old
+        return old
+
+    def atomic_add_batch(
+        self, arr: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Vectorized ``atomicAdd`` over possibly-duplicated indices.
+
+        One counted atomic per entry — a warp issuing k ``atomicAdd``s
+        still performs k atomics, it just does so without a host-side
+        Python loop.  Implemented with ``np.add.at`` (unbuffered
+        scatter-add, so duplicate indices accumulate like real atomics).
+        """
+        self.stats.atomics += int(np.asarray(indices).size)
+        np.add.at(arr, indices, values)
 
     def atomic_min(self, arr: np.ndarray, index: int, value) -> bool:
         """``atomicMin``: returns True iff the stored value decreased."""
@@ -106,7 +119,7 @@ class SimMemory:
         self.stats.atomics += int(indices.size)
         if indices.size == 0:
             return np.zeros(0, dtype=bool)
-        before = arr[indices].copy()
+        before = arr[indices]  # fancy indexing already copies
         np.minimum.at(arr, indices, values)
         after = arr[indices]
         # A thread "wins" if it improved on the pre-batch value and is the
@@ -117,11 +130,13 @@ class SimMemory:
         # Deduplicate: when several entries tie on the same index, keep one.
         if winners.any():
             idx_w = indices[winners]
-            order = np.flatnonzero(winners)
-            uniq, first = np.unique(idx_w, return_index=True)
-            keep = order[first]
-            winners = np.zeros_like(winners)
-            winners[keep] = True
+            if idx_w.size > 1:
+                uniq, first = np.unique(idx_w, return_index=True)
+                if uniq.size < idx_w.size:
+                    order = winners.nonzero()[0]
+                    keep = order[first]
+                    winners = np.zeros_like(winners)
+                    winners[keep] = True
         if payload is not None and payload_out is not None and winners.any():
             payload_out[indices[winners]] = payload[winners]
         return winners
@@ -129,10 +144,10 @@ class SimMemory:
     def atomic_cas(self, arr: np.ndarray, index: int, expected, desired) -> int:
         """``atomicCAS``: conditional swap, returns the old value."""
         self.stats.atomics += 1
-        old = arr[index]
+        old = arr[index].item()
         if old == expected:
             arr[index] = desired
-        return old.item() if hasattr(old, "item") else old
+        return old
 
     # -- fences and plain accesses ------------------------------------------ #
 
@@ -170,6 +185,10 @@ class GlobalPool:
             raise AllocationError("pool needs at least one block")
         self.words_per_block = int(words_per_block)
         self._free = list(range(num_blocks - 1, -1, -1))
+        # Membership twin of ``_free``: the double-free guard in
+        # ``release`` must not scan the list (O(free) per release made
+        # the allocator quadratic over a run).
+        self._free_set = set(self._free)
         self.num_blocks = num_blocks
         # storage[i] holds block i; two int64 lanes: vertex id and distance
         # bit pattern (distances are stored via a codec by the queue).
@@ -203,6 +222,7 @@ class GlobalPool:
                 f"global pool exhausted ({self.num_blocks} blocks in use)"
             )
         blk = self._free.pop()
+        self._free_set.discard(blk)
         self.high_water = max(self.high_water, self.num_blocks - len(self._free))
         if self._tracer.enabled:
             self._tracer.counter(
@@ -213,9 +233,10 @@ class GlobalPool:
     def release(self, block_id: int) -> None:
         if not 0 <= block_id < self.num_blocks:
             raise AllocationError(f"release of unknown block {block_id}")
-        if block_id in self._free:
+        if block_id in self._free_set:
             raise AllocationError(f"double free of block {block_id}")
         self._free.append(block_id)
+        self._free_set.add(block_id)
         if self._tracer.enabled:
             self._tracer.counter(
                 "pool_blocks_in_use", self._clock(), self.blocks_in_use

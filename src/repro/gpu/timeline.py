@@ -20,6 +20,11 @@ class Timeline:
         self.label = label
         self._t: List[float] = []
         self._v: List[float] = []
+        # Extremum over every recorded sample, including ones a later
+        # record() at the same timestamp overwrote in the step series:
+        # a transient spike (assign-then-complete within one event) must
+        # still show up in peak().
+        self._peak: float = float("-inf")
         #: Samples whose timestamp ran backwards and was clamped forward.
         #: A non-zero count flags a cost-model or engine bug — exposed in
         #: solver stats as ``timeline_clamps`` so it can't hide.
@@ -28,14 +33,20 @@ class Timeline:
     def record(self, t_us: float, value: float) -> None:
         """Append a sample; out-of-order times are clamped forward (and
         counted in :attr:`clamps` — clamping hides cost-model bugs)."""
-        if self._t and t_us < self._t[-1]:
-            self.clamps += 1
-            t_us = self._t[-1]
-        if self._t and self._t[-1] == t_us:
-            self._v[-1] = value
-            return
-        self._t.append(float(t_us))
-        self._v.append(float(value))
+        ts = self._t
+        value = float(value)
+        if value > self._peak:
+            self._peak = value
+        if ts:
+            last = ts[-1]
+            if t_us < last:
+                self.clamps += 1
+                t_us = last
+            if last == t_us:
+                self._v[-1] = value
+                return
+        ts.append(float(t_us))
+        self._v.append(value)
 
     # -- queries -------------------------------------------------------------- #
 
@@ -70,7 +81,9 @@ class Timeline:
         return total / span if span > 0 else self._v[-1]
 
     def peak(self) -> float:
-        return max(self._v) if self._v else 0.0
+        """Largest value ever recorded — tied-timestamp overwrites in the
+        step series do not hide a transient spike."""
+        return self._peak if self._v else 0.0
 
     def resample(self, num_points: int) -> Tuple[List[float], List[float]]:
         """Evenly-spaced samples for plotting/printing (endpoints included)."""

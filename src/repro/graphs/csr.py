@@ -287,9 +287,10 @@ def expand_frontier(
     if total == 0:
         e = np.empty(0, dtype=np.int64)
         return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
-    # flat[i] walks each vertex's edge range contiguously
+    # flat[i] walks each vertex's edge range contiguously: a global arange
+    # plus one repeated per-vertex offset (start minus the running total of
+    # preceding counts) — the same ragged gather with one repeat fewer.
     cum = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-    flat = np.repeat(starts, counts) + within
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - cum + counts, counts)
     sources = np.repeat(frontier.astype(np.int64), counts)
     return sources, graph.col_indices[flat], graph.weights[flat]

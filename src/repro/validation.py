@@ -65,7 +65,10 @@ def verify_results(
     if da.shape != db.shape:
         raise ValidationError(f"distance vectors differ in length: {da.size} vs {db.size}")
     fa, fb = np.isfinite(da), np.isfinite(db)
-    bad = fa != fb
+    # NaN mismatches everything, including NaN: a solver emitting NaN is
+    # corrupt, and NaN must never pass as "unreachable" just because
+    # isfinite lumps it with INF.
+    bad = (fa != fb) | np.isnan(da) | np.isnan(db)
     both = fa & fb
     tol = atol + rtol * np.maximum(np.abs(da[both]), np.abs(db[both]))
     bad_vals = np.zeros_like(bad)
@@ -125,7 +128,8 @@ def verify_dist_files(
     both = fa & fb
     diff = np.zeros_like(da)
     diff[both] = np.abs(da[both] - db[both])
-    bad = (fa != fb) | (both & (diff > atol))
+    # NaN is a mismatch against anything, including NaN (see verify_results).
+    bad = (fa != fb) | (both & (diff > atol)) | np.isnan(da) | np.isnan(db)
     return [
         Mismatch(vertex=int(v), dist_a=float(da[v]), dist_b=float(db[v]))
         for v in np.flatnonzero(bad)

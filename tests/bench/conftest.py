@@ -1,0 +1,48 @@
+"""Shared fixtures: a one-graph matrix small enough to run per-test.
+
+The real matrices are pinned (that is their whole point), so tests
+register a throwaway matrix under a reserved name instead of shrinking
+``small``.  Registration goes through the module-level ``MATRICES`` dict,
+which the CLI reads at parser-build time, so ``--matrix tiny-test`` works
+end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.matrix import MATRICES
+from repro.bench.runner import run_bench
+from repro.graphs.suite import GraphSpec
+
+TINY_NAME = "tiny-test"
+
+TINY_MATRIX = (
+    ("adds", "nf"),
+    [
+        (
+            "bench-tiny-road",
+            "road",
+            GraphSpec.make("grid_road", width=12, height=12, max_weight=64, seed=7),
+        ),
+    ],
+)
+
+
+@pytest.fixture()
+def tiny_matrix():
+    MATRICES[TINY_NAME] = TINY_MATRIX
+    try:
+        yield TINY_NAME
+    finally:
+        MATRICES.pop(TINY_NAME, None)
+
+
+@pytest.fixture(scope="session")
+def tiny_report():
+    """One bench run of the tiny matrix, shared by read-only tests."""
+    MATRICES[TINY_NAME] = TINY_MATRIX
+    try:
+        return run_bench(TINY_NAME, tag="seed", repeats=2)
+    finally:
+        MATRICES.pop(TINY_NAME, None)

@@ -1,0 +1,64 @@
+"""End-to-end `repro bench` CLI: emit, compare, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def run_bench_cli(tmp_path, *extra, tag="cli"):
+    return main([
+        "bench", "--tag", tag, "--matrix", "tiny-test",
+        "--repeats", "1", "--out", str(tmp_path), *extra,
+    ])
+
+
+class TestBenchCommand:
+    def test_emits_schema_versioned_report(self, tiny_matrix, tmp_path, capsys):
+        assert run_bench_cli(tmp_path) == 0
+        payload = json.loads((tmp_path / "BENCH_cli.json").read_text())
+        assert payload["bench_schema"] == 1
+        assert len(payload["cells"]) == 2
+        assert "BENCH_cli.json" in capsys.readouterr().out
+
+    def test_compare_against_self_passes(self, tiny_matrix, tmp_path, capsys):
+        assert run_bench_cli(tmp_path, tag="base") == 0
+        code = run_bench_cli(
+            tmp_path, "--compare", str(tmp_path / "BENCH_base.json"),
+            "--threshold", "400",
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, tiny_matrix, tmp_path, capsys):
+        assert run_bench_cli(tmp_path, tag="base") == 0
+        base = json.loads((tmp_path / "BENCH_base.json").read_text())
+        # Injected slowdown: shrink the baseline walls so the (honest)
+        # current run looks >threshold slower than the doctored past.
+        for cell in base["cells"]:
+            cell["wall_s"] /= 100.0
+        doctored = tmp_path / "BENCH_doctored.json"
+        doctored.write_text(json.dumps(base))
+        code = run_bench_cli(tmp_path, "--compare", str(doctored),
+                             "--threshold", "10")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "FAIL" in out
+
+    def test_json_mode_carries_compare_verdict(self, tiny_matrix, tmp_path, capsys):
+        assert run_bench_cli(tmp_path, tag="base") == 0
+        capsys.readouterr()
+        code = run_bench_cli(
+            tmp_path, "--compare", str(tmp_path / "BENCH_base.json"),
+            "--threshold", "400", "--json",
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compare"]["ok"] is True
+        assert payload["compare"]["threshold_pct"] == 400.0
+
+    def test_unknown_baseline_is_a_clean_error(self, tiny_matrix, tmp_path, capsys):
+        code = run_bench_cli(tmp_path, "--compare", str(tmp_path / "missing.json"))
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""The --compare regression gate, over hand-built payloads (no solves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_reports
+from repro.errors import ReproError
+
+
+def payload(cells):
+    """A minimal bench payload: cells = {(graph, solver): wall_s or dict}."""
+    out = []
+    for (graph, solver), spec in cells.items():
+        cell = {
+            "graph": graph,
+            "solver": solver,
+            "wall_s": spec if isinstance(spec, (int, float)) else spec["wall_s"],
+            "work_count": 100,
+            "time_us": 42.0,
+            "dist_sha256": "a" * 64,
+        }
+        if isinstance(spec, dict):
+            cell.update(spec)
+        out.append(cell)
+    return {"bench_schema": 1, "cells": out}
+
+
+BASE = {("g1", "adds"): 1.0, ("g2", "adds"): 2.0}
+
+
+class TestGate:
+    def test_identical_ok(self):
+        cmp = compare_reports(payload(BASE), payload(BASE), threshold_pct=10)
+        assert cmp.ok
+        assert cmp.summary_lines()[-1] == "OK"
+        assert not cmp.regressions and not cmp.mismatches and not cmp.missing
+
+    def test_improvement_ok(self):
+        cur = payload({("g1", "adds"): 0.5, ("g2", "adds"): 1.0})
+        cmp = compare_reports(payload(BASE), cur, threshold_pct=10)
+        assert cmp.ok
+        assert cmp.total_change_pct == pytest.approx(-50.0)
+
+    def test_injected_slowdown_fails(self):
+        cur = payload({("g1", "adds"): 1.5, ("g2", "adds"): 2.0})
+        cmp = compare_reports(payload(BASE), cur, threshold_pct=10)
+        assert not cmp.ok
+        assert [d.graph for d in cmp.regressions] == ["g1"]
+        assert cmp.summary_lines()[-1] == "FAIL"
+        assert any("REGRESSION" in l for l in cmp.summary_lines())
+
+    def test_slowdown_within_threshold_ok(self):
+        cur = payload({("g1", "adds"): 1.05, ("g2", "adds"): 2.0})
+        assert compare_reports(payload(BASE), cur, threshold_pct=10).ok
+
+    def test_total_regression_fails_even_without_cell_regression(self):
+        # every cell creeps up 8% (< 10%), but so does the total... use an
+        # asymmetric threshold: total moves +8% which stays OK at 10, and
+        # fails at 5.
+        cur = payload({("g1", "adds"): 1.08, ("g2", "adds"): 2.16})
+        assert compare_reports(payload(BASE), cur, threshold_pct=10).ok
+        cmp = compare_reports(payload(BASE), cur, threshold_pct=5)
+        assert cmp.total_regressed and not cmp.ok
+
+    def test_simulated_mismatch_is_fatal_regardless_of_speed(self):
+        cur = payload({("g1", "adds"): {"wall_s": 0.1, "work_count": 999},
+                       ("g2", "adds"): 2.0})
+        cmp = compare_reports(payload(BASE), cur, threshold_pct=50)
+        assert not cmp.ok
+        assert any("work_count" in m for m in cmp.mismatches)
+
+    def test_dist_hash_mismatch_is_fatal(self):
+        cur = payload({("g1", "adds"): {"wall_s": 1.0, "dist_sha256": "b" * 64},
+                       ("g2", "adds"): 2.0})
+        assert not compare_reports(payload(BASE), cur).ok
+
+    def test_missing_cell_is_fatal(self):
+        cur = payload({("g1", "adds"): 1.0})
+        cmp = compare_reports(payload(BASE), cur)
+        assert cmp.missing == [("g2", "adds")]
+        assert not cmp.ok
+
+    def test_added_cell_is_informational(self):
+        cur = payload({**BASE, ("g3", "nf"): 9.0})
+        cmp = compare_reports(payload(BASE), cur)
+        assert cmp.added == [("g3", "nf")]
+        assert cmp.ok  # new coverage never fails the gate
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ReproError, match="non-negative"):
+            compare_reports(payload(BASE), payload(BASE), threshold_pct=-1)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReproError, match="cells"):
+            compare_reports({"bench_schema": 1}, payload(BASE))

@@ -266,3 +266,39 @@ class TestCompletionAndRotation:
         snap = q.snapshot()
         for key in ("head", "base_dist", "delta", "rotations", "total_pushed"):
             assert key in snap
+
+
+class TestWccThroughSimMemory:
+    """WCC bumps must be visible to SimMemory's atomic accounting, like
+    every other atomic in the codebase (not a raw counter increment)."""
+
+    def test_single_segment_publish_counts_one_atomic(self):
+        q = make_queue(segment_size=4)
+        before = q.mem.stats.atomics
+        start = q.reserve(0, 3)  # one atomic (resv bump)
+        segs = q.publish(0, start, np.arange(3), np.zeros(3))
+        assert segs == 1
+        # reserve's resv bump + one WCC atomic for the single segment
+        assert q.mem.stats.atomics - before == 2
+
+    def test_multi_segment_publish_counts_one_atomic_per_segment(self):
+        q = make_queue(segment_size=4)
+        before = q.mem.stats.atomics
+        start = q.reserve(0, 10)  # spans segments 0,1,2
+        segs = q.publish(0, start, np.arange(10), np.zeros(10))
+        assert segs == 3
+        assert q.mem.stats.atomics - before == 1 + 3
+
+    def test_publish_fences_before_wcc(self):
+        q = make_queue(segment_size=4)
+        fences = q.mem.stats.fences
+        start = q.reserve(0, 2)
+        q.publish(0, start, np.arange(2), np.zeros(2))
+        assert q.mem.stats.fences == fences + 1
+
+    def test_wcc_overflow_detected(self):
+        q = make_queue(segment_size=4)
+        start = q.reserve(0, 2)
+        q.publish(0, start, np.arange(2), np.zeros(2))
+        with pytest.raises(ProtocolError, match="exceeds N"):
+            q.publish(0, start, np.arange(4), np.zeros(4))  # re-publish overlap

@@ -147,16 +147,32 @@ class TestGrowthPlateau:
         """Growing Δ without gaining utilization must stop — otherwise a
         starved high-diameter graph degenerates to Bellman-Ford (§6.4)."""
         c = make_ctrl(delta=100.0)
-        settle(c, 0.0)
+        u0 = 0.1 * c.target_edges()  # starved, but work is flowing
+        settle(c, u0)
         c.maybe_adjust_delta(0.0, rotations=5)  # grow to 200
         assert c.delta == 200.0
-        settle(c, 0.0)  # ...still starved: growth didn't help
+        settle(c, u0)  # ...same utilization: growth didn't help
         c.maybe_adjust_delta(0.0, rotations=10)
         assert c.delta == 100.0  # reverted
         assert c.growth_frozen
-        settle(c, 0.0)
+        settle(c, u0)
         c.maybe_adjust_delta(0.0, rotations=15)
         assert c.delta == 100.0  # frozen: no more growth
+
+    def test_growth_at_zero_baseline_never_freezes(self):
+        """Regression: growth applied while ``util_ewma == 0`` (start-up,
+        before any work is in flight) used to satisfy the plateau test
+        vacuously and freeze Δ growth permanently.  A zero baseline can't
+        judge a growth step; the controller must keep growing."""
+        c = make_ctrl(delta=100.0)
+        settle(c, 0.0)
+        c.maybe_adjust_delta(0.0, rotations=5)  # grow at zero utilization
+        assert c.delta == 200.0
+        assert c.util_at_growth == 0.0
+        settle(c, 0.0)  # still nothing in flight
+        c.maybe_adjust_delta(0.0, rotations=10)
+        assert not c.growth_frozen
+        assert c.delta == 400.0  # kept growing, not reverted
 
     def test_helpful_growth_continues(self):
         c = make_ctrl(delta=100.0)
@@ -169,9 +185,10 @@ class TestGrowthPlateau:
 
     def test_saturation_unfreezes(self):
         c = make_ctrl(delta=100.0)
-        settle(c, 0.0)
+        u0 = 0.1 * c.target_edges()
+        settle(c, u0)
         c.maybe_adjust_delta(0.0, rotations=5)
-        settle(c, 0.0)
+        settle(c, u0)
         c.maybe_adjust_delta(0.0, rotations=10)  # revert + freeze
         assert c.growth_frozen
         settle(c, 100 * c.target_edges())

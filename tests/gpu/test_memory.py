@@ -157,3 +157,50 @@ class TestGlobalPool:
     def test_zero_blocks_rejected(self):
         with pytest.raises(AllocationError):
             GlobalPool(0)
+
+
+class _CountingList(list):
+    """A list that counts membership scans (the O(n) guard we removed)."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.contains_calls = 0
+
+    def __contains__(self, item):
+        self.contains_calls += 1
+        return super().__contains__(item)
+
+
+class TestPoolReleaseComplexity:
+    def test_release_never_scans_the_free_list(self):
+        """The double-free guard must be O(1): release goes through the
+        membership set, never ``in`` on the free list itself."""
+        pool = GlobalPool(64, words_per_block=8)
+        pool._free = _CountingList(pool._free)
+        blocks = [pool.acquire() for _ in range(64)]
+        for b in blocks:
+            pool.release(b)
+        assert pool._free.contains_calls == 0
+
+    def test_set_guard_still_catches_double_free(self):
+        pool = GlobalPool(4, words_per_block=8)
+        a = pool.acquire()
+        b = pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        with pytest.raises(AllocationError, match="double free"):
+            pool.release(a)
+        # the set and list stay in lockstep across reuse
+        c = pool.acquire()
+        pool.release(c)
+        assert sorted(pool._free) == sorted(pool._free_set)
+
+
+class TestAtomicAddBatch:
+    def test_counts_one_atomic_per_entry(self):
+        mem = SimMemory()
+        arr = np.zeros(4, dtype=np.int64)
+        before = mem.stats.atomics
+        mem.atomic_add_batch(arr, np.array([0, 1, 1, 3]), np.array([5, 1, 2, 7]))
+        assert mem.stats.atomics - before == 4
+        assert arr.tolist() == [5, 3, 0, 7]  # duplicates accumulate

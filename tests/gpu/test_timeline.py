@@ -83,6 +83,18 @@ class TestQueries:
     def test_peak(self):
         assert self.make().peak() == 300
 
+    def test_peak_survives_tied_timestamp_overwrite(self):
+        """A transient spike overwritten at the same timestamp (e.g.
+        assign-then-complete within one event) must still show in peak()."""
+        tl = Timeline()
+        tl.record(1.0, 7)
+        tl.record(1.0, 2)
+        assert tl.series() == ((1.0,), (2.0,))  # step series keeps the last
+        assert tl.peak() == 7.0
+
+    def test_peak_empty(self):
+        assert Timeline().peak() == 0.0
+
     def test_empty_average(self):
         assert Timeline().time_average() == 0.0
 

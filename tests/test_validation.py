@@ -120,3 +120,37 @@ class TestDistFiles:
         write_dist_file(a, pa)
         write_dist_file(b, pb)
         assert verify_dist_files(pa, pb) == []
+
+
+class TestNaNIsAlwaysAMismatch:
+    """A solver emitting NaN is corrupt; NaN must never pass as INF."""
+
+    def test_nan_vs_inf_mismatch(self):
+        m = verify_results(result([0, np.nan]), result([0, np.inf]))
+        assert len(m) == 1 and m[0].vertex == 1
+
+    def test_nan_vs_value_mismatch(self):
+        assert len(verify_results(result([0, np.nan]), result([0, 5.0]))) == 1
+
+    def test_nan_vs_nan_mismatch(self):
+        assert len(verify_results(result([0, np.nan]), result([0, np.nan]))) == 1
+
+    def test_nan_fails_even_with_tolerances(self):
+        a, b = result([0, np.nan]), result([0, np.nan])
+        assert len(verify_results(a, b, atol=1e9, rtol=1.0)) == 1
+
+    def test_assert_results_match_raises_on_nan(self):
+        with pytest.raises(ValidationError):
+            assert_results_match(result([0, np.nan]), result([0, np.nan]))
+
+    def test_dist_files_nan_mismatch(self, tmp_path):
+        pa, pb = tmp_path / "a_dist", tmp_path / "b_dist"
+        pa.write_text("0 0\n1 nan\n")
+        pb.write_text("0 0\n1 INF\n")
+        assert len(verify_dist_files(pa, pb)) == 1
+
+    def test_dist_files_nan_vs_nan_mismatch(self, tmp_path):
+        pa, pb = tmp_path / "a_dist", tmp_path / "b_dist"
+        pa.write_text("0 0\n1 nan\n")
+        pb.write_text("0 0\n1 nan\n")
+        assert len(verify_dist_files(pa, pb, atol=10.0)) == 1
