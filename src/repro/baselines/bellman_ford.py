@@ -10,6 +10,7 @@ can be 1000× more efficient than Bellman-Ford" on high-diameter graphs).
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -53,10 +54,17 @@ def bellman_ford_frontier(
     float_weights = not graph.is_integer_weighted
 
     frontier = resolve_sources(graph.num_vertices, source, sources)
+    # Pre-cast CSR twins: the relax path consumes int64 indices and
+    # float64 weights, so casting once removes two copies per superstep.
+    exp_graph = SimpleNamespace(
+        row_offsets=graph.row_offsets,
+        col_indices=graph.col_indices.astype(np.int64),
+        weights=graph.weights.astype(np.float64),
+    )
     work = 0
     supersteps = 0
     while frontier.size:
-        srcs, dsts, ws = expand_frontier(graph, frontier)
+        srcs, dsts, ws = expand_frontier(exp_graph, frontier)
         machine.superstep(
             int(frontier.size), int(dsts.size), avg_deg, float_weights=float_weights
         )
@@ -64,11 +72,11 @@ def bellman_ford_frontier(
         work += int(frontier.size)
         if dsts.size == 0:
             break
-        cand = dist[srcs] + ws.astype(np.float64)
+        cand = dist[srcs] + ws
         winners = mem.atomic_min_batch(
-            dist, dsts.astype(np.int64), cand, payload=srcs, payload_out=pred
+            dist, dsts, cand, payload=srcs, payload_out=pred
         )
-        frontier = np.unique(dsts[winners].astype(np.int64))
+        frontier = np.unique(dsts[winners])
 
     metrics = solver_metrics(
         atomics=mem.stats.atomics,

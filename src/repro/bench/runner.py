@@ -24,9 +24,11 @@ documented in ``docs/benchmarks.md`` / ``docs/schema.md``.
 
 from __future__ import annotations
 
+import cProfile
 import hashlib
 import json
 import platform
+import pstats
 import sys
 import time
 from dataclasses import dataclass, field
@@ -75,6 +77,27 @@ def _dist_sha256(dist: np.ndarray) -> str:
     return hashlib.sha256(buf.tobytes()).hexdigest()
 
 
+#: Rows kept in the per-cell ``profile.top`` table (by cumulative time).
+PROFILE_TOP_N = 20
+
+
+def _profile_top(pr: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> List[dict]:
+    """The ``top_n`` functions by cumulative time, as JSON-ready rows."""
+    st = pstats.Stats(pr)
+    rows = []
+    for (fname, line, func), (cc, nc, tt, ct, _callers) in st.stats.items():
+        rows.append(
+            {
+                "func": f"{fname}:{line}({func})",
+                "ncalls": int(nc),
+                "tottime_s": round(float(tt), 6),
+                "cumtime_s": round(float(ct), 6),
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:top_n]
+
+
 @dataclass
 class BenchCell:
     """One (graph, solver) cell's measurements."""
@@ -94,9 +117,13 @@ class BenchCell:
     peak_rss_kb: Optional[int]
     atomics: int
     fences: int
+    #: Optional cProfile capture (``--profile``): pstats file path plus
+    #: the top functions by cumulative time.  Additive — absent unless
+    #: profiling was requested, and ignored by ``compare_reports``.
+    profile: Optional[Dict[str, object]] = None
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "graph": self.graph,
             "category": self.category,
             "solver": self.solver,
@@ -113,6 +140,9 @@ class BenchCell:
             "atomics": int(self.atomics),
             "fences": int(self.fences),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     @property
     def key(self):
@@ -165,6 +195,7 @@ def run_bench(
     cost=None,
     warmup: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    profile_dir: Optional[Union[str, Path]] = None,
 ) -> BenchReport:
     """Execute a pinned matrix; returns the in-memory report.
 
@@ -174,6 +205,12 @@ def run_bench(
     identical across repeats — the simulator is deterministic, and a
     repeat that disagrees means the tree itself is broken, which must
     fail the benchmark rather than average out.
+
+    With ``profile_dir`` set, each cell gets one *extra* untimed run
+    under :mod:`cProfile` (profiling skews timing, so it never wraps the
+    timed repeats); the raw capture lands in
+    ``profile_dir/<graph>__<solver>.pstats`` and the top-20 functions by
+    cumulative time are embedded in the cell's ``profile`` record.
     """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1 (got {repeats})")
@@ -185,6 +222,9 @@ def run_bench(
     solvers = matrix_solvers(matrix)
     config = EngineConfig(jobs=1)
     cells = plan_cells(entries, solvers, spec=spec, cost=cost, config=config)
+    if profile_dir is not None:
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
 
     report = BenchReport(
         tag=tag,
@@ -225,6 +265,20 @@ def run_bench(
                         f"bench cell {cell.key} is non-deterministic: "
                         f"repeat {rep - warmup} disagrees with repeat 0"
                     )
+        profile_record = None
+        if profile_dir is not None:
+            pr = cProfile.Profile()
+            pr.enable()
+            run_cells([cell], config)
+            pr.disable()
+            pstats_path = (
+                profile_dir / f"{cell.graph_name}__{cell.solver}.pstats"
+            )
+            pr.dump_stats(pstats_path)
+            profile_record = {
+                "pstats": str(pstats_path),
+                "top": _profile_top(pr),
+            }
         stats = reference.stats or {}
         report.cells.append(
             BenchCell(
@@ -243,6 +297,7 @@ def run_bench(
                 peak_rss_kb=_peak_rss_kb(),
                 atomics=int(stats.get("atomics", 0)),
                 fences=int(stats.get("fences", 0)),
+                profile=profile_record,
             )
         )
         notify(

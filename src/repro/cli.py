@@ -268,6 +268,7 @@ def cmd_bench(ns) -> int:
         spec=spec,
         cost=cost,
         progress=progress,
+        profile_dir=ns.profile,
     )
     path = write_report(report, ns.out)
     comparison = None
@@ -300,6 +301,9 @@ def cmd_bench(ns) -> int:
             f"matrix {report.matrix}: {len(report.cells)} cells, "
             f"total wall {report.total_wall_s * 1e3:.1f} ms -> {path}"
         )
+        if ns.profile:
+            print(f"cProfile captures: {ns.profile}/*.pstats "
+                  f"(top-20 tables embedded in the report)")
         if comparison is not None:
             for line in comparison.summary_lines():
                 print(line)
@@ -460,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "on regression past --threshold")
     b.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
                    help="allowed wall-clock regression percent (default 10)")
+    b.add_argument("--profile", metavar="DIR",
+                   help="capture one extra cProfile run per cell: raw "
+                        "pstats files in DIR plus a top-20 cumulative-time "
+                        "table embedded in the report")
     b.add_argument("--verbose", "-v", action="store_true")
     b.add_argument("--json", action="store_true",
                    help="emit the report (plus compare verdict) as JSON")

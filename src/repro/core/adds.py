@@ -70,6 +70,11 @@ class AddsState:
     #: Optional so hand-built states (tests) fall back to per-WTB casts.
     col64: Optional[np.ndarray] = None
     w64: Optional[np.ndarray] = None
+    #: per-vertex adjacency cache, lazily filled by the WTB fast path:
+    #: ``adj[v] = (srcs, cols, ws)`` where the latter two are views into
+    #: the 64-bit twins.  Vertices are re-expanded a handful of times per
+    #: solve, so caching the slice objects beats re-slicing the CSR.
+    adj: Optional[list] = None
 
 
 def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
@@ -189,12 +194,14 @@ def solve_adds(
         af_edges=np.zeros(n_wtbs, dtype=np.float64),
         col64=graph.col_indices.astype(np.int64),
         w64=graph.weights.astype(np.float64),
+        adj=[None] * graph.num_vertices,
     )
 
     # Seed: each source is one work item in the head bucket at distance 0.
+    queue.bind_device(device)
     seed = resolve_sources(graph.num_vertices, source, sources)
-    queue.storage[queue.head].ensure_capacity(
-        config.segment_size * (1 + seed.size // config.segment_size)
+    queue.ensure_capacity(
+        queue.head, config.segment_size * (1 + seed.size // config.segment_size)
     )
     start = queue.reserve(queue.head, int(seed.size))
     queue.publish(queue.head, start, seed, np.zeros(seed.size))
@@ -226,6 +233,10 @@ def solve_adds(
         ("translation_hits", queue.mtb_cache.hits),
         ("translation_misses", queue.mtb_cache.misses),
         ("timeline_clamps", device.timeline.clamps),
+        ("wakeups", device.wakeups),
+        ("spurious_wakeups", device.spurious_wakeups),
+        ("fallback_polls", device.fallback_polls),
+        ("missed_wakeups", device.missed_wakeups),
     ):
         metrics.counter(key).inc(value)
     metrics.update(

@@ -44,11 +44,19 @@ __all__ = ["BucketQueue", "encode_dist", "decode_dist"]
 
 def encode_dist(d: np.ndarray) -> np.ndarray:
     """float64 distances → int64 bit patterns (order-preserving for d ≥ 0)."""
+    if isinstance(d, np.ndarray) and d.dtype == np.float64 and d.flags.c_contiguous:
+        return d.view(np.int64)  # hot path: already the right layout
     return np.ascontiguousarray(np.asarray(d, dtype=np.float64)).view(np.int64)
 
 
 def decode_dist(bits: np.ndarray) -> np.ndarray:
     """Inverse of :func:`encode_dist`."""
+    if (
+        isinstance(bits, np.ndarray)
+        and bits.dtype == np.int64
+        and bits.flags.c_contiguous
+    ):
+        return bits.view(np.float64)
     return np.ascontiguousarray(np.asarray(bits, dtype=np.int64)).view(np.float64)
 
 
@@ -95,6 +103,10 @@ class BucketQueue:
             for i in range(nb)
         ]
         self.mtb_cache = TranslationCache()
+        # Wake-channel keys for capacity waiters, one per bucket; WTBs
+        # register on cap_keys[slot] and ensure_capacity notifies it.
+        self.cap_keys = tuple(("cap", s) for s in range(nb))
+        self._device = None
 
         # priority window state (owned by the MTB)
         self.head = 0
@@ -138,6 +150,14 @@ class BucketQueue:
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
 
+    def bind_device(self, device) -> None:
+        """Wire capacity-channel notifications to ``device.notify``.
+
+        Without a bound device the queue still works — capacity waiters
+        just fall back to the engine's rescue rescan (tests exercising
+        the queue standalone rely on this)."""
+        self._device = device
+
     # ------------------------------------------------------------------ #
     # priority mapping
     # ------------------------------------------------------------------ #
@@ -156,9 +176,25 @@ class BucketQueue:
         already-rotated band, §5.4); beyond-window distances clip to the
         tail band (Figure 6(b)).  Clip counts feed the Δ controller.
         """
+        nb1 = self.n_buckets - 1
+        if dists.size == 1:
+            # scalar path: one ufunc dispatch instead of three full-array
+            # ones (the modal WTB push is one winner).  Must stay the
+            # numpy kernel — its fmod-corrected floor division differs
+            # from floor(a/b) at band boundaries.
+            r = int(np.floor_divide(dists.item() - self.base_dist, self.delta))
+            if r < 0:
+                self.low_clips += 1
+                r = 0
+            elif r > nb1:
+                self.high_clips += 1
+                r = nb1
+            return np.array([r], dtype=np.int64)
         rel = np.floor_divide(dists - self.base_dist, self.delta).astype(np.int64)
+        if 0 <= int(rel.min()) and int(rel.max()) <= nb1:
+            return rel  # common case: nothing clips
         low = rel < 0
-        high = rel > self.n_buckets - 1
+        high = rel > nb1
         n_low = int(np.count_nonzero(low))
         n_high = int(np.count_nonzero(high))
         if n_low:
@@ -166,8 +202,32 @@ class BucketQueue:
             rel[low] = 0
         if n_high:
             self.high_clips += n_high
-            rel[high] = self.n_buckets - 1
+            rel[high] = nb1
         return rel
+
+    def rel_bands_list(self, dists: np.ndarray) -> list:
+        """:meth:`rel_bands_for` as a plain list (hot WTB push path).
+
+        The WTB groups its pushes by band with scalar code, so handing it
+        a list skips the int64 cast, the min/max early-out reduction and
+        the clip masks of the array variant.  The division itself stays
+        the ``np.floor_divide`` kernel (same boundary semantics); its
+        float results are integral and far below 2**53, so ``int()`` on
+        them is exact, and clips are counted per element exactly as the
+        array variant counts them.
+        """
+        nb1 = self.n_buckets - 1
+        out = np.floor_divide(dists - self.base_dist, self.delta).tolist()
+        for i, r in enumerate(out):
+            r = int(r)
+            if r < 0:
+                self.low_clips += 1
+                r = 0
+            elif r > nb1:
+                self.high_clips += 1
+                r = nb1
+            out[i] = r
+        return out
 
     # ------------------------------------------------------------------ #
     # writer (WTB) side
@@ -188,6 +248,17 @@ class BucketQueue:
         """Allocated capacity (virtual slots) of a bucket."""
         return self.storage[slot].capacity
 
+    def ensure_capacity(self, slot: int, slots: int) -> int:
+        """Grow a bucket's block table to ``slots`` (MTB allocator path).
+
+        Returns blocks added; growth notifies the bucket's capacity wake
+        channel so a WTB stalled on an unbacked reservation re-checks.
+        """
+        added = self.storage[slot].ensure_capacity(slots)
+        if added and self._device is not None:
+            self._device.notify(self.cap_keys[slot])
+        return added
+
     def publish(self, slot: int, start: int, vertices: np.ndarray, dists: np.ndarray) -> int:
         """Write reserved slots, fence, bump segment WCCs (§5.2 writer path).
 
@@ -203,10 +274,10 @@ class BucketQueue:
         last = (start + k - 1) // ss
         wcc = self._wcc_through(slot, last)
         if first == last:
-            self.mem.atomic_add(wcc, first, k)
-            if wcc[first] > ss:
+            old = self.mem.atomic_add(wcc, first, k)
+            if old + k > ss:
                 raise ProtocolError(
-                    f"bucket {slot}: segment {first} WCC {wcc[first]} exceeds N"
+                    f"bucket {slot}: segment {first} WCC {old + k} exceeds N"
                 )
         else:
             # contribution per touched segment: partial ends, full middle
@@ -242,7 +313,7 @@ class BucketQueue:
         if k < 0:
             raise ProtocolError("negative completion count")
         self.mem.fence()  # spawned pushes visible before the CWC update
-        if int(self.epoch[slot]) == epoch:
+        if self.epoch.item(slot) == epoch:
             self.mem.atomic_add(self.cwc, slot, k)
         self.total_completed += k
 
@@ -256,9 +327,9 @@ class BucketQueue:
         Returns ``(upper, segments_scanned)``: all slots in
         ``[read_ptr, upper)`` are guaranteed fully written.
         """
-        r = int(self.read[slot])
+        r = self.read.item(slot)
         self.mem.fence()
-        resv = int(self.resv[slot])
+        resv = self.resv.item(slot)
         if r >= resv:
             return r, 0
         ss = self.segment_size
@@ -282,9 +353,9 @@ class BucketQueue:
             # comparison is not against a stale pointer)
             scanned += 1
             seg = seg0 + n_full
-            count = int(wcc[seg]) if seg < wcc.size else 0
+            count = wcc.item(seg) if seg < wcc.size else 0
             self.mem.fence()
-            resv = int(self.resv[slot])
+            resv = self.resv.item(slot)
             if seg * ss + count == resv and resv > upper:
                 upper = resv
         if upper > resv:
@@ -313,15 +384,15 @@ class BucketQueue:
 
     def bucket_drained(self, slot: int) -> bool:
         """Everything reserved has been read *and* completed."""
-        resv = int(self.resv[slot])
-        if int(self.read[slot]) != resv:
+        resv = self.resv.item(slot)
+        if self.read.item(slot) != resv:
             return False
         self.mem.fence()
-        return int(self.cwc[slot]) == int(self.resv[slot])
+        return self.cwc.item(slot) == self.resv.item(slot)
 
     def bucket_read_out(self, slot: int) -> bool:
         """Everything reserved has been read (completion not required)."""
-        return int(self.read[slot]) == int(self.resv[slot])
+        return self.read.item(slot) == self.resv.item(slot)
 
     def rotate(self) -> None:
         """Recycle the head bucket as the new farthest band (§5.4)."""
@@ -352,7 +423,7 @@ class BucketQueue:
 
     def retire_read_blocks(self, slot: int) -> int:
         """Free whole blocks below both read_ptr and CWC (FIFO shrink)."""
-        safe = min(int(self.read[slot]), int(self.cwc[slot]))
+        safe = min(self.read.item(slot), self.cwc.item(slot))
         return self.storage[slot].retire_below(safe)
 
     # ------------------------------------------------------------------ #

@@ -51,8 +51,28 @@ def mtb_program(state):
     )
     chunk_items = int(min(cfg.max_chunk, max(4, round(target_edges / avg_deg))))
     lookahead = 2 * cfg.max_chunk
+    # Wake-channel keys mirroring the WTB side: writing a worker's AF is
+    # followed by a notify on its channel so only that worker's
+    # predicate is re-evaluated.
+    af_keys = tuple(("af", w) for w in range(n_wtbs))
+    notify = dev.notify
 
     tracer = dev.tracer
+    trace_on = tracer.enabled
+    # Hoisted hot-path lookups (one pass per few hundred cycles).
+    ensure_capacity = q.ensure_capacity
+    retire_read_blocks = q.retire_read_blocks
+    readable_upper = q.readable_upper
+    advance_read = q.advance_read
+    slot_of = q.slot_of
+    resv = q.resv
+    af_slot = state.af_slot
+    af_start = state.af_start
+    af_end = state.af_end
+    af_epoch = state.af_epoch
+    af_edges = state.af_edges
+    q_epoch = q.epoch
+    q_read = q.read
 
     empty_sweeps = 0
     last_integral = 0.0
@@ -67,40 +87,41 @@ def mtb_program(state):
         # pre-grown) can hold storage blocks: a bucket leaves ``resv == 0``
         # only via reset, which drops its blocks.  Scanning the other ~30
         # empty slots every pass was a top host-side hot spot.
-        for slot in q.resv.nonzero()[0].tolist():
-            q.storage[slot].ensure_capacity(int(q.resv[slot]) + lookahead)
-            q.retire_read_blocks(slot)
-        if not q.resv[q.head]:
-            q.storage[q.head].ensure_capacity(lookahead)
-            q.retire_read_blocks(q.head)
+        for slot in resv.nonzero()[0].tolist():
+            ensure_capacity(slot, resv.item(slot) + lookahead)
+            retire_read_blocks(slot)
+        if not resv.item(q.head):
+            ensure_capacity(q.head, lookahead)
+            retire_read_blocks(q.head)
 
         # ---- 2. scan + assign ------------------------------------------------
         idle = (af_state == AF_IDLE).nonzero()[0].tolist()
         for rel in range(ctrl.active_buckets):
             if not idle:
                 break
-            slot = q.slot_of(rel)
-            upper, scanned = q.readable_upper(slot)
+            slot = slot_of(rel)
+            upper, scanned = readable_upper(slot)
             segments_scanned += scanned
-            rd = int(q.read[slot])
-            epoch_s = int(q.epoch[slot])
+            rd = q_read.item(slot)
+            epoch_s = q_epoch.item(slot)
             while idle and rd < upper:
                 start = rd
                 end = min(start + chunk_items, upper)
-                q.advance_read(slot, end)
+                advance_read(slot, end)
                 rd = end
                 wid = idle.pop()
-                state.af_slot[wid] = slot
-                state.af_start[wid] = start
-                state.af_end[wid] = end
-                state.af_epoch[wid] = epoch_s
+                af_slot[wid] = slot
+                af_start[wid] = start
+                af_end[wid] = end
+                af_epoch[wid] = epoch_s
                 est_edges = (end - start) * avg_deg
-                state.af_edges[wid] = est_edges
+                af_edges[wid] = est_edges
                 state.outstanding_edges += est_edges
                 af_state[wid] = AF_ASSIGNED  # the worker's AF poll sees this
+                notify(af_keys[wid])
                 assignments += 1
                 assigned_items += end - start
-                if tracer.enabled:
+                if trace_on:
                     tracer.instant(
                         "MTB", "assign", dev.now_us, cat="mtb",
                         wtb=wid, bucket=slot, items=end - start,
@@ -118,13 +139,13 @@ def mtb_program(state):
                 # still reading from — the paper's failure mode is spawned
                 # work landing in a rotated band, not a use-after-free.
                 pinned = bool(
-                    np.any((af_state == AF_ASSIGNED) & (state.af_slot == head))
+                    np.any((af_state == AF_ASSIGNED) & (af_slot == head))
                 )
                 if pinned:
                     break
             elif not q.bucket_drained(head):
                 break
-            unread = q.resv > q.read
+            unread = resv > q_read
             unread[head] = False
             pending_elsewhere = bool(unread.any())
             in_flight = state.outstanding_edges > 0 or q.outstanding() > 0
@@ -154,18 +175,22 @@ def mtb_program(state):
                 state.delta_trace.append((dev.now_us, new))
 
         # ---- 5. termination ---------------------------------------------------------
+        # With no assignments this pass the AF array is unchanged since
+        # the idle scan, so the (possibly shrunken) idle list stands in
+        # for re-scanning it.
         queue_empty = (
             assignments == 0
+            and len(idle) == n_wtbs
             and q.outstanding() == 0
-            and bool(np.array_equal(q.resv, q.read))
-            and bool((af_state == AF_IDLE).all())
+            and bool(np.array_equal(resv, q_read))
         )
         if queue_empty:
             empty_sweeps += 1
             if empty_sweeps >= cfg.termination_sweeps:
                 for w in range(n_wtbs):
                     af_state[w] = AF_STOP
-                if tracer.enabled:
+                    notify(af_keys[w])
+                if trace_on:
                     tracer.instant(
                         "MTB", "stop_broadcast", dev.now_us, cat="mtb",
                         empty_sweeps=empty_sweeps,
@@ -175,7 +200,7 @@ def mtb_program(state):
             empty_sweeps = 0
 
         # ---- 6. charge the pass ------------------------------------------------------
-        if tracer.enabled:
+        if trace_on:
             dev.annotate(
                 "mtb_pass", segments=segments_scanned,
                 assignments=assignments, items=assigned_items, rotated=rotated,

@@ -66,40 +66,110 @@ def wtb_program(state, wid: int):
         row_offsets=graph.row_offsets, col_indices=col64, weights=w64
     )
     assigned = lambda: af_state[wid] != AF_IDLE  # noqa: E731 - hot predicate
+    # Wake channel for the assignment flag: the MTB notifies ("af", wid)
+    # when it writes this worker's AF, so the engine re-evaluates the
+    # predicate O(assignments) times instead of on every event.
+    af_key = ("af", wid)
+    cap_keys = q.cap_keys
+    # Hoisted hot-path lookups: this loop body runs once per assignment,
+    # tens of thousands of times per solve.
+    trace_on = tracer.enabled
+    read_items = q.read_items
+    rel_bands_list = q.rel_bands_list
+    reserve = q.reserve
+    capacity = q.capacity
+    publish = q.publish
+    complete = q.complete
+    atomic_min_batch = mem.atomic_min_batch
+    wtb_batch_latency = cost.wtb_batch_latency
+    wtb_batch_bytes = cost.wtb_batch_bytes
+    # Batch pricing is a pure function of the edge count once the solve
+    # fixes float_weights and avg_deg, and edge counts repeat heavily
+    # (chunk sizes × a bounded degree mix), so memoize per worker.
+    batch_cost_memo: dict = {}
+    atomic_cycles = cost.atomic_cycles
+    af_edges = state.af_edges
+    n_buckets = q.n_buckets
+    count_nonzero = np.count_nonzero
+    adj = state.adj
+    ro_item = graph.row_offsets.item
+    dist_item = dist.item
+    concatenate = np.concatenate
 
     while True:
-        yield ("wait", assigned)
+        yield ("wait", assigned, af_key)
         if af_state[wid] == AF_STOP:
             return
 
-        slot = int(af_slot[wid])
-        start = int(af_start[wid])
-        end = int(af_end[wid])
-        epoch = int(af_epoch[wid])
+        slot = af_slot.item(wid)
+        start = af_start.item(wid)
+        end = af_end.item(wid)
+        epoch = af_epoch.item(wid)
         k = end - start
 
-        verts, pushed = q.read_items(slot, start, end)
-        # stale check: the pushed distance is current iff the vertex has
-        # not improved since (distances only decrease)
-        cur = dist[verts]
-        live = pushed <= cur
-        n_live = int(np.count_nonzero(live))
-        live_verts = verts if n_live == k else verts[live]
+        verts, pushed = read_items(slot, start, end)
+        if adj is not None and k <= 12:
+            # Fused scalar path for small chunks (the dominant shape on
+            # mesh/road graphs): one pass does the stale check and gathers
+            # each live vertex's cached adjacency — the same slices
+            # ``expand_frontier`` would take, concatenated in the same
+            # order, so the batch below is bit-identical.
+            src_parts = []
+            dst_parts = []
+            w_parts = []
+            n_live = 0
+            verts_l = verts.tolist()
+            pushed_l = pushed.tolist()
+            for i in range(k):
+                v = verts_l[i]
+                # stale check: the pushed distance is current iff the
+                # vertex has not improved since (distances only decrease)
+                if pushed_l[i] <= dist_item(v):
+                    n_live += 1
+                    ent = adj[v]
+                    if ent is None:
+                        s = ro_item(v)
+                        e = ro_item(v + 1)
+                        sv = np.empty(e - s, dtype=np.int64)
+                        sv.fill(v)
+                        ent = adj[v] = (sv, col64[s:e], w64[s:e])
+                    src_parts.append(ent[0])
+                    dst_parts.append(ent[1])
+                    w_parts.append(ent[2])
+            if n_live:
+                srcs = concatenate(src_parts)
+                dsts = concatenate(dst_parts)
+                ws = concatenate(w_parts)
+                edges = int(dsts.size)
+            else:
+                edges = 0
+        else:
+            # stale check: the pushed distance is current iff the vertex
+            # has not improved since (distances only decrease)
+            live = pushed <= dist[verts]
+            n_live = int(count_nonzero(live))
+            live_verts = verts if n_live == k else verts[live]
 
-        srcs, dsts, ws = expand_frontier(exp_graph, live_verts)
-        edges = int(dsts.size)
-        latency = cost.wtb_batch_latency(edges, float_weights=float_weights)
-        nbytes = cost.wtb_batch_bytes(edges, avg_deg)
+            srcs, dsts, ws = expand_frontier(exp_graph, live_verts)
+            edges = int(dsts.size)
+        priced = batch_cost_memo.get(edges)
+        if priced is None:
+            priced = batch_cost_memo[edges] = (
+                wtb_batch_latency(edges, float_weights=float_weights),
+                wtb_batch_bytes(edges, avg_deg),
+            )
+        latency, nbytes = priced
         # Distance updates commit as the batch runs (hardware atomics are
         # visible to concurrently running blocks), so they are applied at
         # dispatch; the *work items* this batch spawns only become visible
         # when the push instructions + WCC increments execute, i.e. after
         # the batch's duration below.
         state.work_count += n_live
-        new_v = np.empty(0, dtype=np.int64)
+        nw = 0
+        new_v = None
         if edges:
             cand = dist[srcs] + ws
-            winners = mem.atomic_min_batch(
+            winners = atomic_min_batch(
                 dist,
                 dsts,
                 cand,
@@ -107,56 +177,67 @@ def wtb_program(state, wid: int):
                 payload_out=pred_out,
             )
             new_v = dsts[winners]
+            nw = int(new_v.size)
 
-        if tracer.enabled:
+        if trace_on:
             dev.annotate(
                 "relax_batch", bucket=slot, items=k,
-                live=n_live, stale=k - n_live,
-                wins=int(new_v.size),
+                live=n_live, stale=k - n_live, wins=nw,
             )
         yield ("relax", latency, edges, nbytes)
 
         # ---- publication at batch completion ---------------------------------
-        if edges:
-            if new_v.size:
-                new_d = dist[new_v]
-                rel = q.rel_bands_for(new_d)
-                slots = (q.head + rel) % q.n_buckets
-                push_cost = 0.0
-                s0 = int(slots[0])
-                if not (slots != s0).any():
-                    # common case: the whole batch lands in one band
-                    groups = ((s0, new_v, new_d),)
-                else:
-                    groups = tuple(
-                        (int(s), new_v[slots == s], new_d[slots == s])
-                        for s in np.unique(slots)
-                    )
-                for s, vs, ds in groups:
-                    kk = int(vs.size)
-                    idx0 = q.reserve(s, kk)
-                    if q.capacity(s) < idx0 + kk:
-                        # block not allocated yet: wait for the MTB
-                        # (bind loop variables via defaults)
-                        if tracer.enabled:
-                            tracer.instant(
-                                track, "alloc_wait", dev.now_us, cat="alloc",
-                                bucket=s, need=idx0 + kk,
-                                capacity=q.capacity(s),
-                            )
-                        yield (
-                            "wait",
-                            lambda s=s, need=idx0 + kk: q.capacity(s) >= need,
+        if nw:
+            new_d = dist[new_v]
+            rel_l = rel_bands_list(new_d)
+            head = q.head
+            push_cost = 0.0
+            rel0 = rel_l[0]
+            if nw == 1 or rel_l.count(rel0) == nw:
+                # common case: the whole batch lands in one band
+                groups = (((head + rel0) % n_buckets, new_v, new_d),)
+            else:
+                # group by physical slot, ascending (reserve/publish
+                # order is protocol-visible): a scalar pass beats
+                # per-slot boolean masks at these batch sizes
+                by_slot: dict = {}
+                for pos, r in enumerate(rel_l):
+                    s = (head + r) % n_buckets
+                    bucket = by_slot.get(s)
+                    if bucket is None:
+                        by_slot[s] = [pos]
+                    else:
+                        bucket.append(pos)
+                groups = tuple(
+                    (s, new_v[pos], new_d[pos])
+                    for s, pos in sorted(by_slot.items())
+                )
+            for s, vs, ds in groups:
+                kk = int(vs.size)
+                idx0 = reserve(s, kk)
+                if capacity(s) < idx0 + kk:
+                    # block not allocated yet: wait for the MTB
+                    # (bind loop variables via defaults)
+                    if trace_on:
+                        tracer.instant(
+                            track, "alloc_wait", dev.now_us, cat="alloc",
+                            bucket=s, need=idx0 + kk,
+                            capacity=capacity(s),
                         )
-                    segs = q.publish(s, idx0, vs, ds)
-                    push_cost += cost.atomic_cycles * (1 + segs) + 4.0 * kk
-                yield ("busy", push_cost)
+                    yield (
+                        "wait",
+                        lambda s=s, need=idx0 + kk: capacity(s) >= need,
+                        cap_keys[s],
+                    )
+                segs = publish(s, idx0, vs, ds)
+                push_cost += atomic_cycles * (1 + segs) + 4.0 * kk
+            yield ("busy", push_cost)
 
-        q.complete(slot, k, epoch)
-        state.outstanding_edges -= float(state.af_edges[wid])
-        state.af_edges[wid] = 0.0
+        complete(slot, k, epoch)
+        state.outstanding_edges -= af_edges.item(wid)
+        af_edges[wid] = 0.0
         af_state[wid] = AF_IDLE
-        if tracer.enabled:
+        if trace_on:
             tracer.instant(
                 track, "wtb_complete", dev.now_us, cat="wtb",
                 bucket=slot, items=k,

@@ -28,12 +28,32 @@ Events a program may yield
     latency-bound without any per-batch sharing guesswork.
 
 ``("wait", predicate)``
-    The block sleeps until ``predicate()`` is true.  Predicates are
-    re-evaluated whenever any other block completes an event; a small
-    wake-up cost (:attr:`CostModel.af_poll_cycles`) is charged on resume.
-    This models a WTB spinning on its assignment flag in scratchpad —
-    cheap, off the memory fabric — without flooding the engine with poll
-    events.
+    The block sleeps until ``predicate()`` is true.  This registers on
+    the **fallback channel**: the predicate is re-evaluated after every
+    event completion, exactly like the original global-rescan engine.  A
+    fallback wait whose predicate is already true at registration resumes
+    inline at zero cost (no poll charge, no heap round-trip) — there was
+    never anything to wait for.
+
+``("wait", predicate, channel)``
+    The targeted form: the wait registers on the named *wake channel*
+    (any hashable key).  The predicate is only re-evaluated when a writer
+    calls :meth:`Device.notify` with the same key — O(notifications)
+    instead of O(events × waiters).  Channel waits model a hardware
+    thread block spinning on a flag in scratchpad, so resuming always
+    charges one :attr:`CostModel.af_poll_cycles` — the successful poll
+    that noticed the flag — *including* when the flag was already set at
+    registration time (the write raced ahead of the worker's first
+    poll).  This is why migrating a wait to a channel never changes
+    simulated timing: the charge structure is identical to the rescan
+    engine's; only the host-side evaluation count drops.
+
+The wake-channel protocol (who notifies, tie-break rules, fallback
+semantics) is documented in ``docs/simulator.md``.  Channel efficiency is
+observable through :attr:`Device.wakeups` / :attr:`Device.spurious_wakeups`
+(and, for unmigrated call sites, :attr:`Device.fallback_polls`); a missed
+notification is rescued by the deadlock-detection rescan and counted in
+:attr:`Device.missed_wakeups` so writer bugs cannot hide.
 
 Programs finish by returning.  :meth:`Device.run` returns when every
 program has finished; if all remaining programs are waiting and no
@@ -43,10 +63,10 @@ which turns protocol bugs into loud failures instead of hangs.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Tuple
+from typing import Callable, Generator, Hashable, List, Optional, Tuple
 
 from repro.errors import DeviceError
 from repro.gpu.costmodel import CostModel
@@ -59,8 +79,11 @@ __all__ = ["Device", "BlockContext"]
 
 Program = Generator[tuple, None, None]
 
+#: Sentinel two-arg ``next`` returns when a program generator finishes.
+_FINISHED = object()
 
-@dataclass
+
+@dataclass(slots=True)
 class BlockContext:
     """Per-block bookkeeping the engine keeps for a registered program."""
 
@@ -114,7 +137,26 @@ class Device:
         self._blocks: List[BlockContext] = []
         self._heap: List[Tuple[float, int, BlockContext]] = []
         self._seq = itertools.count()
-        self._waiting: List[Tuple[BlockContext, Callable[[], bool]]] = []
+        # Wake channels: key -> [(registration order, ctx, predicate)].
+        # Waiters across channels wake in registration order, which is
+        # exactly the order the rescan engine's waiting list had — the
+        # tie-break feeding next(self._seq) is semantics, not style.
+        self._channels: dict = {}
+        self._fallback: List[Tuple[int, BlockContext, Callable[[], bool]]] = []
+        self._notified: set = set()
+        self._wait_reg = 0
+        #: Channel waiters resumed (each charged one AF poll).
+        self.wakeups = 0
+        #: Channel predicate evaluations that failed after a notify
+        #: (the writer's channel was too coarse for this waiter).
+        self.spurious_wakeups = 0
+        #: Fallback-channel predicate re-evaluations that failed — the
+        #: per-event rescan cost unmigrated waits still pay.
+        self.fallback_polls = 0
+        #: Channel waiters rescued by the deadlock-detection rescan: a
+        #: writer changed their predicate without notifying.  Loud in
+        #: metrics because it means a migration bug, not a slow path.
+        self.missed_wakeups = 0
         self._relax_blocks = 0
         self._relax_edges = 0.0
         self._relax_integral = 0.0  # ∫ edges-in-flight dt, edge·cycles
@@ -124,6 +166,8 @@ class Device:
         self._total_events = 0
         self._ran = False
         self._current_ctx: Optional[BlockContext] = None
+        self._trace_on = self.tracer.enabled
+        self._af_poll = self.cost.af_poll_cycles
 
     # -- setup ----------------------------------------------------------------- #
 
@@ -166,10 +210,15 @@ class Device:
         )
 
     def _bump_relax(self, delta_edges: float) -> None:
-        self._relax_integral += self._relax_edges * (self.now - self._relax_changed_at)
-        self._relax_changed_at = self.now
+        # Batched accounting: events draining at the same timestamp skip
+        # the integral update (elapsed == 0), which is the common case
+        # inside a same-timestamp batch in run().
+        now = self.now
+        if now != self._relax_changed_at:
+            self._relax_integral += self._relax_edges * (now - self._relax_changed_at)
+            self._relax_changed_at = now
         self._relax_edges += delta_edges
-        if self.tracer.enabled:
+        if self._trace_on:
             self.tracer.counter(
                 "edges_in_flight", self.now_us, max(0.0, self._relax_edges)
             )
@@ -181,9 +230,25 @@ class Device:
         ``("busy", cycles)`` yield so the trace span carries the pass
         semantics instead of a generic "busy".  A no-op when tracing is
         disabled or called outside a program step."""
-        if not self.tracer.enabled or self._current_ctx is None:
+        if not self._trace_on or self._current_ctx is None:
             return
         self._current_ctx._annotation = (name, dict(args))
+
+    # -- wake channels ----------------------------------------------------------- #
+
+    def notify(self, channel: Hashable) -> None:
+        """A writer changed state some waiter on ``channel`` may be
+        spinning on.  Cheap (a set add when the channel has waiters, an
+        attribute test otherwise); the predicates themselves are
+        re-evaluated once the current program step completes, so a
+        writer may batch several flag writes before its next yield and
+        pay one evaluation per waiter."""
+        if channel in self._channels:
+            self._notified.add(channel)
+
+    def has_waiters(self, channel: Hashable) -> bool:
+        """True if some block is currently waiting on ``channel``."""
+        return bool(self._channels.get(channel))
 
     # -- engine ----------------------------------------------------------------- #
 
@@ -194,54 +259,135 @@ class Device:
         self._ran = True
         for ctx in self._blocks:
             self._schedule(ctx, self.now)
-        heappop = heapq.heappop
         heap = self._heap
-        while heap or self._waiting:
+        step = self._step
+        # _notified and _fallback are mutated in place everywhere, so the
+        # per-event emptiness test can run on hoisted bindings.
+        notified = self._notified
+        fallback = self._fallback
+        process_wakes = self._process_wakes
+        while True:
             if not heap:
-                self._wake_waiters()
-                if not heap:
-                    waiters = ", ".join(c.name for c, _ in self._waiting)
-                    raise DeviceError(f"deadlock: blocks waiting forever: {waiters}")
+                if not (self._channels or fallback):
+                    break  # every program finished
+                self._rescue_or_deadlock()
                 continue
-            t, _, ctx = heappop(heap)
+            # Drain every event sharing the earliest timestamp as one
+            # batch: one clock advance, one pop loop, and (because a
+            # woken waiter is always rescheduled af_poll_cycles later)
+            # the exact pop order the one-event-at-a-time loop had.
+            t = heap[0][0]
             if t > self.now:
                 self.now = t
-            self._step(ctx)
-            if self._waiting:
-                self._wake_waiters()
+            while heap and heap[0][0] == t:
+                step(heappop(heap)[2])
+                if notified or fallback:
+                    process_wakes()
         return self.now
 
     # -- internals --------------------------------------------------------------- #
 
     def _schedule(self, ctx: BlockContext, t: float) -> None:
-        heapq.heappush(self._heap, (t, next(self._seq), ctx))
+        heappush(self._heap, (t, next(self._seq), ctx))
 
-    def _wake_waiters(self) -> None:
-        waiting = self._waiting
-        if not waiting:
+    def _wake(self, ctx: BlockContext) -> None:
+        """Resume a waiter: account idle time, charge the successful poll."""
+        now = self.now
+        ctx.idle_cycles += now - ctx._wait_started
+        if self._trace_on:
+            start_us = self.spec.cycles_to_us(ctx._wait_started)
+            self.tracer.span(
+                ctx.name, "idle", start_us,
+                self.now_us - start_us, cat="wait",
+            )
+        heappush(self._heap, (now + self._af_poll, next(self._seq), ctx))
+
+    def _process_wakes(self) -> None:
+        """Evaluate notified channels plus the fallback channel; wake every
+        satisfied waiter in registration order (the rescan engine's order)."""
+        ready: Optional[List[Tuple[int, BlockContext, Callable[[], bool]]]] = None
+        notified = self._notified
+        if notified:
+            channels = self._channels
+            for key in notified:
+                waiters = channels.get(key)
+                if not waiters:
+                    continue
+                keep = None
+                for item in waiters:
+                    if item[2]():
+                        if ready is None:
+                            ready = []
+                        ready.append(item)
+                    else:
+                        self.spurious_wakeups += 1
+                        if keep is None:
+                            keep = []
+                        keep.append(item)
+                if keep is None:
+                    del channels[key]
+                else:
+                    channels[key] = keep
+            notified.clear()
+        fallback = self._fallback
+        if fallback:
+            keep_fb = []
+            for item in fallback:
+                if item[2]():
+                    if ready is None:
+                        ready = []
+                    ready.append(item)
+                else:
+                    self.fallback_polls += 1
+                    keep_fb.append(item)
+            if len(keep_fb) != len(fallback):
+                fallback[:] = keep_fb  # in place: run() holds a binding
+        if ready is None:
             return
-        # Fast path: most completions wake nobody; avoid rebuilding the
-        # list (predicates are pure reads, so re-evaluating is safe).
-        for _, pred in waiting:
-            if pred():
-                break
-        else:
-            return
-        still: List[Tuple[BlockContext, Callable[[], bool]]] = []
-        for ctx, pred in self._waiting:
-            if pred():
-                ctx.idle_cycles += self.now - ctx._wait_started
-                if self.tracer.enabled:
-                    start_us = self.spec.cycles_to_us(ctx._wait_started)
-                    self.tracer.span(
-                        ctx.name, "idle", start_us,
-                        self.now_us - start_us, cat="wait",
-                    )
-                # charge the successful poll that noticed the flag change
-                self._schedule(ctx, self.now + self.cost.af_poll_cycles)
+        if len(ready) > 1:
+            ready.sort()
+        for item in ready:
+            self._wake(item[1])
+        self.wakeups += len(ready)
+        if self._trace_on:
+            self.tracer.counter("wakeups", self.now_us, self.wakeups)
+            self.tracer.counter(
+                "spurious_wakeups", self.now_us, self.spurious_wakeups
+            )
+
+    def _rescue_or_deadlock(self) -> None:
+        """Heap empty with blocks waiting: the full-rescan safety net.
+
+        A satisfied channel waiter found here means a writer changed its
+        predicate without a notify — woken anyway (counted in
+        :attr:`missed_wakeups`) so a migration bug degrades instead of
+        hanging.  Nothing satisfied is a genuine deadlock."""
+        stuck: List[Tuple[int, BlockContext, Callable[[], bool]]] = []
+        rescued = 0
+        for waiters in self._channels.values():
+            for item in waiters:
+                if item[2]():
+                    self._wake(item[1])
+                    rescued += 1
+                else:
+                    stuck.append(item)
+        for item in self._fallback:
+            if item[2]():
+                self._wake(item[1])
+                rescued += 1
             else:
-                still.append((ctx, pred))
-        self._waiting = still
+                stuck.append(item)
+        if not rescued:
+            stuck.sort()
+            waiters = ", ".join(item[1].name for item in stuck)
+            raise DeviceError(f"deadlock: blocks waiting forever: {waiters}")
+        self.missed_wakeups += rescued
+        self.wakeups += rescued
+        self._channels.clear()
+        self._fallback[:] = stuck  # in place: run() holds a binding
+        self._notified.clear()
+        # Re-key the survivors: stuck channel waiters fall back to the
+        # rescan channel (their writer already proved unreliable).
 
     def _finish_relax(self, edges: float) -> None:
         self._relax_blocks -= 1
@@ -250,83 +396,122 @@ class Device:
 
     def _step(self, ctx: BlockContext) -> None:
         """Resume one program and interpret its next yielded event."""
-        self._total_events += 1
-        if self._total_events > self.max_events:
-            raise DeviceError(
-                f"event budget exceeded ({self.max_events}); "
-                "likely a livelock in a block program"
-            )
         # Complete the effects of the event that just elapsed.
         pending = ctx._pending_relax
         if pending is not None:
             self._finish_relax(pending)
             ctx._pending_relax = None
 
+        program = ctx.program
+        heap = self._heap
+        seq = self._seq
+        now = self.now  # the clock only advances in run(), never mid-step
+        events = self._total_events
+        max_events = self.max_events
+        # One try/finally per *step* (not per event) keeps the budget
+        # counter and _current_ctx exact on every exit path while the
+        # loop itself runs on locals only.
         self._current_ctx = ctx
         try:
-            event = next(ctx.program)
-        except StopIteration:
-            ctx.finished = True
-            return
-        finally:
-            self._current_ctx = None
+            while True:
+                events += 1
+                if events > max_events:
+                    raise DeviceError(
+                        f"event budget exceeded ({self.max_events}); "
+                        "likely a livelock in a block program"
+                    )
+                # Two-arg next traps StopIteration in C — no try/except
+                # on the per-event path.
+                event = next(program, _FINISHED)
+                if event is _FINISHED:
+                    ctx.finished = True
+                    return
 
-        ctx.events += 1
-        kind = event[0]
-        if kind == "busy":
-            cycles = float(event[1])
-            if cycles < 0:
-                raise DeviceError(f"{ctx.name}: negative busy duration")
-            ctx.busy_cycles += cycles
-            if self.tracer.enabled:
-                name, args = self._take_annotation(ctx, "busy")
-                self.tracer.span(
-                    ctx.name, name, self.now_us,
-                    self.spec.cycles_to_us(cycles), cat="compute", **args,
-                )
-            self._schedule(ctx, self.now + cycles)
-        elif kind == "relax":
-            cycles, edges = float(event[1]), float(event[2])
-            if cycles < 0 or edges < 0:
-                raise DeviceError(f"{ctx.name}: negative relax event")
-            dram_wait = 0.0
-            if len(event) >= 4:
-                # bandwidth-managed form: serialize bytes through DRAM
-                nbytes = float(event[3])
-                if nbytes < 0:
-                    raise DeviceError(f"{ctx.name}: negative relax bytes")
-                service_start = max(self.now, self._bw_clock)
-                dram_wait = service_start - self.now
-                transfer_done = service_start + nbytes / self.spec.bytes_per_cycle
-                self._bw_clock = transfer_done
-                self._bytes_moved += nbytes
-                cycles = max(cycles, transfer_done - self.now)
-            ctx.busy_cycles += cycles
-            self._relax_blocks += 1
-            self._bump_relax(edges)
-            self.timeline.record(self.now_us, self._relax_edges)
-            if self.tracer.enabled:
-                name, args = self._take_annotation(ctx, "relax")
-                args.setdefault("edges", edges)
-                if dram_wait > 0:
-                    args["dram_wait_us"] = self.spec.cycles_to_us(dram_wait)
-                self.tracer.span(
-                    ctx.name, name, self.now_us,
-                    self.spec.cycles_to_us(cycles), cat="relax", **args,
-                )
-            ctx._pending_relax = edges
-            self._schedule(ctx, self.now + cycles)
-        elif kind == "wait":
-            pred = event[1]
-            if not callable(pred):
-                raise DeviceError(f"{ctx.name}: wait predicate must be callable")
-            if pred():
-                self._schedule(ctx, self.now + self.cost.af_poll_cycles)
-            else:
-                ctx._wait_started = self.now
-                self._waiting.append((ctx, pred))
-        else:
-            raise DeviceError(f"{ctx.name}: unknown event kind {kind!r}")
+                ctx.events += 1
+                kind = event[0]
+                if kind == "busy":
+                    cycles = float(event[1])
+                    if cycles < 0:
+                        raise DeviceError(f"{ctx.name}: negative busy duration")
+                    ctx.busy_cycles += cycles
+                    if self._trace_on:
+                        name, args = self._take_annotation(ctx, "busy")
+                        self.tracer.span(
+                            ctx.name, name, self.now_us,
+                            self.spec.cycles_to_us(cycles), cat="compute", **args,
+                        )
+                    heappush(heap, (now + cycles, next(seq), ctx))
+                    return
+                if kind == "relax":
+                    cycles, edges = float(event[1]), float(event[2])
+                    if cycles < 0 or edges < 0:
+                        raise DeviceError(f"{ctx.name}: negative relax event")
+                    dram_wait = 0.0
+                    if len(event) >= 4:
+                        # bandwidth-managed form: serialize bytes through DRAM
+                        nbytes = float(event[3])
+                        if nbytes < 0:
+                            raise DeviceError(f"{ctx.name}: negative relax bytes")
+                        service_start = max(now, self._bw_clock)
+                        dram_wait = service_start - now
+                        transfer_done = service_start + nbytes / self.spec.bytes_per_cycle
+                        self._bw_clock = transfer_done
+                        self._bytes_moved += nbytes
+                        cycles = max(cycles, transfer_done - now)
+                    ctx.busy_cycles += cycles
+                    self._relax_blocks += 1
+                    self._bump_relax(edges)
+                    self.timeline.record(self.now_us, self._relax_edges)
+                    if self._trace_on:
+                        name, args = self._take_annotation(ctx, "relax")
+                        args.setdefault("edges", edges)
+                        if dram_wait > 0:
+                            args["dram_wait_us"] = self.spec.cycles_to_us(dram_wait)
+                        self.tracer.span(
+                            ctx.name, name, self.now_us,
+                            self.spec.cycles_to_us(cycles), cat="relax", **args,
+                        )
+                    ctx._pending_relax = edges
+                    heappush(heap, (now + cycles, next(seq), ctx))
+                    return
+                if kind == "wait":
+                    pred = event[1]
+                    if not callable(pred):
+                        raise DeviceError(
+                            f"{ctx.name}: wait predicate must be callable"
+                        )
+                    channel = event[2] if len(event) >= 3 else None
+                    if channel is None:
+                        if pred():
+                            # Nothing to wait for: resume inline, free.
+                            # (The loop keeps charging the event budget,
+                            # so a program spinning on a true predicate
+                            # still trips the livelock guard.)
+                            continue
+                        self._wait_reg += 1
+                        ctx._wait_started = now
+                        self._fallback.append((self._wait_reg, ctx, pred))
+                        return
+                    if pred():
+                        # A channel wait models spinning on a hardware
+                        # flag: the flag being set before the first poll
+                        # still costs that poll, identically to the
+                        # rescan engine.
+                        self.wakeups += 1
+                        heappush(heap, (now + self._af_poll, next(seq), ctx))
+                        return
+                    self._wait_reg += 1
+                    ctx._wait_started = now
+                    waiters = self._channels.get(channel)
+                    if waiters is None:
+                        self._channels[channel] = [(self._wait_reg, ctx, pred)]
+                    else:
+                        waiters.append((self._wait_reg, ctx, pred))
+                    return
+                raise DeviceError(f"{ctx.name}: unknown event kind {kind!r}")
+        finally:
+            self._total_events = events
+            self._current_ctx = None
 
     @staticmethod
     def _take_annotation(ctx: BlockContext, default: str) -> Tuple[str, dict]:
@@ -338,6 +523,15 @@ class Device:
         return name, args
 
     # -- reporting ------------------------------------------------------------------ #
+
+    def wake_stats(self) -> dict:
+        """Channel-efficiency counters (see the module docstring)."""
+        return {
+            "wakeups": self.wakeups,
+            "spurious_wakeups": self.spurious_wakeups,
+            "fallback_polls": self.fallback_polls,
+            "missed_wakeups": self.missed_wakeups,
+        }
 
     def block_report(self) -> List[dict]:
         """Per-block busy/idle summary (debugging and tests)."""

@@ -69,7 +69,7 @@ class SimMemory:
     def atomic_add(self, arr: np.ndarray, index: int, value) -> int:
         """``atomicAdd``: add, return the *old* value."""
         self.stats.atomics += 1
-        old = arr[index].item()
+        old = arr.item(index)
         arr[index] = old + value
         return old
 
@@ -89,7 +89,7 @@ class SimMemory:
     def atomic_min(self, arr: np.ndarray, index: int, value) -> bool:
         """``atomicMin``: returns True iff the stored value decreased."""
         self.stats.atomics += 1
-        if value < arr[index]:
+        if value < arr.item(index):
             arr[index] = value
             return True
         return False
@@ -116,9 +116,37 @@ class SimMemory:
         64-bit packed (distance, predecessor) update GPU SSSP kernels use
         to keep the shortest-path tree consistent with the distances.
         """
-        self.stats.atomics += int(indices.size)
-        if indices.size == 0:
+        n = int(indices.size)
+        self.stats.atomics += n
+        if n == 0:
             return np.zeros(0, dtype=bool)
+        if n <= 32:
+            # Small batches (the common WTB case: a handful of edges per
+            # chunk) pay more for the eight-odd NumPy dispatches below
+            # than for the arithmetic; a scalar pass computes the same
+            # winner mask — first entry per index that improves on the
+            # pre-batch value and holds the post-batch minimum.
+            winners = np.zeros(n, dtype=bool)
+            state: dict = {}  # idx -> [pre-batch value, best value, position]
+            idx_l = indices.tolist()
+            val_l = values.tolist()
+            for i in range(n):
+                j = idx_l[i]
+                v = val_l[i]
+                rec = state.get(j)
+                if rec is None:
+                    state[j] = [arr.item(j), v, i]
+                elif v < rec[1]:
+                    rec[1] = v
+                    rec[2] = i
+            has_payload = payload is not None and payload_out is not None
+            for j, (pre, best, pos) in state.items():
+                if best < pre:
+                    arr[j] = best
+                    winners[pos] = True
+                    if has_payload:
+                        payload_out[j] = payload[pos]
+            return winners
         before = arr[indices]  # fancy indexing already copies
         np.minimum.at(arr, indices, values)
         after = arr[indices]
@@ -127,24 +155,44 @@ class SimMemory:
         improved = values < before
         is_final = values == after
         winners = improved & is_final
-        # Deduplicate: when several entries tie on the same index, keep one.
-        if winners.any():
-            idx_w = indices[winners]
-            if idx_w.size > 1:
+        # Deduplicate: when several entries tie on the same index, keep
+        # the first.  For the small winner counts WTB chunks produce, a
+        # scalar first-occurrence scan beats the sort inside np.unique;
+        # the BSP baselines push thousands of winners per superstep, so
+        # big sets keep the vectorized path.  Both keep the first
+        # occurrence per index, so the mask is identical either way.
+        any_winners = bool(winners.any())
+        if any_winners:
+            order = winners.nonzero()[0]
+            if 1 < order.size <= 64:
+                idx_w = indices[order]
+                seen: set = set()
+                keep = []
+                dup = False
+                for pos, j in zip(order.tolist(), idx_w.tolist()):
+                    if j in seen:
+                        dup = True
+                    else:
+                        seen.add(j)
+                        keep.append(pos)
+                if dup:
+                    winners = np.zeros_like(winners)
+                    winners[keep] = True
+            elif order.size > 64:
+                idx_w = indices[order]
                 uniq, first = np.unique(idx_w, return_index=True)
                 if uniq.size < idx_w.size:
-                    order = winners.nonzero()[0]
                     keep = order[first]
                     winners = np.zeros_like(winners)
                     winners[keep] = True
-        if payload is not None and payload_out is not None and winners.any():
+        if payload is not None and payload_out is not None and any_winners:
             payload_out[indices[winners]] = payload[winners]
         return winners
 
     def atomic_cas(self, arr: np.ndarray, index: int, expected, desired) -> int:
         """``atomicCAS``: conditional swap, returns the old value."""
         self.stats.atomics += 1
-        old = arr[index].item()
+        old = arr.item(index)
         if old == expected:
             arr[index] = desired
         return old

@@ -281,16 +281,40 @@ def expand_frontier(
     if frontier.size == 0:
         e = np.empty(0, dtype=np.int64)
         return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
-    starts = graph.row_offsets[frontier]
-    counts = graph.row_offsets[frontier + 1] - starts
-    total = int(counts.sum())
+    ro = graph.row_offsets
+    if frontier.size <= 12:
+        # Small frontiers (ADDS chunks are a handful of vertices): per-
+        # vertex slices + one concatenate beat the ragged-gather below,
+        # whose fixed cost is ~10 NumPy dispatches.
+        cols = []
+        ws = []
+        counts = []
+        ro_item = ro.item
+        ci = graph.col_indices
+        wt = graph.weights
+        for v in frontier.tolist():
+            s = ro_item(v)
+            e = ro_item(v + 1)
+            cols.append(ci[s:e])
+            ws.append(wt[s:e])
+            counts.append(e - s)
+        f64 = frontier if frontier.dtype == np.int64 else frontier.astype(np.int64)
+        sources = np.repeat(f64, counts)
+        if sources.size == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
+        return sources, np.concatenate(cols), np.concatenate(ws)
+    starts = ro[frontier]
+    counts = ro[frontier + 1] - starts
+    cum = np.cumsum(counts)
+    total = int(cum[-1])
     if total == 0:
         e = np.empty(0, dtype=np.int64)
         return e, e.astype(np.int32), np.empty(0, dtype=graph.weights.dtype)
     # flat[i] walks each vertex's edge range contiguously: a global arange
     # plus one repeated per-vertex offset (start minus the running total of
     # preceding counts) — the same ragged gather with one repeat fewer.
-    cum = np.cumsum(counts)
     flat = np.arange(total, dtype=np.int64) + np.repeat(starts - cum + counts, counts)
-    sources = np.repeat(frontier.astype(np.int64), counts)
+    f64 = frontier if frontier.dtype == np.int64 else frontier.astype(np.int64)
+    sources = np.repeat(f64, counts)
     return sources, graph.col_indices[flat], graph.weights[flat]

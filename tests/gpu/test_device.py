@@ -151,14 +151,44 @@ class TestWaiting:
         d.run()
         assert order == ["set", "woke"]
 
-    def test_wait_already_true_resumes_quickly(self):
+    def test_fallback_wait_already_true_is_free(self):
+        # There was never anything to wait for: no poll charge, no heap
+        # round-trip (the pre-wake-channel engine charged af_poll_cycles
+        # here — the regression this pins down).
         def prog():
             yield ("wait", lambda: True)
+            yield ("busy", 10)
+
+        d = make_device()
+        d.add_block("p", prog())
+        total = d.run()
+        assert total == pytest.approx(10.0)
+        assert d.wakeups == 0
+
+    def test_channel_wait_already_true_charges_one_poll(self):
+        # A channel wait models spinning on a hardware flag: the flag
+        # being set before the first poll still costs that poll, so
+        # migrating a wait onto a channel never changes simulated cycles.
+        def prog():
+            yield ("wait", lambda: True, ("af", 0))
 
         d = make_device()
         d.add_block("p", prog())
         total = d.run()
         assert total == pytest.approx(d.cost.af_poll_cycles)
+        assert d.wakeups == 1
+
+    def test_inline_true_wait_spin_trips_event_budget(self):
+        # A program spinning on an always-true fallback wait must still
+        # hit the livelock guard even though it never touches the heap.
+        def spinner():
+            while True:
+                yield ("wait", lambda: True)
+
+        d = make_device(max_events=1000)
+        d.add_block("p", spinner())
+        with pytest.raises(DeviceError, match="event budget"):
+            d.run()
 
     def test_deadlock_detected(self):
         def forever():
