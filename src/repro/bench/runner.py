@@ -45,6 +45,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "RSS_UNIT",
     "BenchCell",
     "BenchReport",
     "run_bench",
@@ -58,17 +59,35 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 
-def _peak_rss_kb() -> Optional[int]:
-    """Process high-water RSS in KiB, or None where unavailable."""
-    try:
-        import resource
-    except ImportError:  # non-POSIX
-        return None
-    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB; macOS reports bytes.
-    if sys.platform == "darwin":
+#: Unit every ``peak_rss_kb`` in a report is normalized to, recorded in
+#: the report's ``host`` block so readers never have to guess which
+#: platform's ``ru_maxrss`` convention produced the numbers.
+RSS_UNIT = "KiB"
+
+
+def _peak_rss_kb(*, getrusage=None, sys_platform: Optional[str] = None) -> Optional[int]:
+    """Process high-water RSS normalized to :data:`RSS_UNIT`, or None.
+
+    ``ru_maxrss`` has no portable unit — Linux reports KiB, macOS bytes —
+    so the raw value is normalized per-platform here.  ``getrusage`` (a
+    zero-arg callable returning raw ``ru_maxrss``) and ``sys_platform``
+    are injectable for the unit tests.
+    """
+    if sys_platform is None:
+        sys_platform = sys.platform
+    if getrusage is None:
+        try:
+            import resource
+        except ImportError:  # non-POSIX
+            return None
+
+        def getrusage():
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    ru = int(getrusage())
+    if sys_platform == "darwin":
         ru //= 1024
-    return int(ru)
+    return ru
 
 
 def _dist_sha256(dist: np.ndarray) -> str:
@@ -235,6 +254,7 @@ def run_bench(
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
+            "rss_unit": RSS_UNIT,
         },
         created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     )

@@ -1,0 +1,36 @@
+"""repro.check — SRMW protocol checker + seeded schedule fuzzer.
+
+Two halves (see ``docs/checking.md``):
+
+- :class:`ProtocolChecker` dynamically asserts the paper's §5.2–5.4
+  protocol invariants (SRMW roles, reservation disjointness,
+  fence-ordered visibility, distance monotonicity, the no-lost-work
+  oracle) on every protocol operation of one ADDS solve;
+- :func:`run_check` fuzzes solvers across seeded schedule perturbations
+  (``Device(perturb_seed=...)``) and fails on any violation, distance
+  divergence, missed wakeup or replay mismatch — the ``python -m repro
+  check`` entry point.
+
+Fault injection for the checker's own tests lives in
+:mod:`repro.check.testing`.
+"""
+
+from repro.check.invariants import ProtocolChecker
+from repro.check.runner import (
+    CHECKABLE_SOLVERS,
+    CellCheck,
+    CheckReport,
+    ScheduleRun,
+    run_check,
+    schedule_seed,
+)
+
+__all__ = [
+    "CHECKABLE_SOLVERS",
+    "CellCheck",
+    "CheckReport",
+    "ProtocolChecker",
+    "ScheduleRun",
+    "run_check",
+    "schedule_seed",
+]

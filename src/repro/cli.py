@@ -7,6 +7,8 @@ Subcommands mirror how the paper's artifact is driven:
 - ``solve``    — run one solver on one graph (the ``ads_int``-style binary)
 - ``suite``    — run solvers over the built-in corpus (``run_all.sh``)
 - ``bench``    — run a pinned benchmark matrix; emit/compare ``BENCH_*.json``
+- ``check``    — fuzz solvers across perturbed schedules under the SRMW
+  protocol checker (see ``docs/checking.md``)
 - ``trace``    — run one solver with tracing on; write Perfetto/CSV artifacts
 - ``verify``   — compare two ``*_final_dist`` files (``verify.py``)
 - ``convert``  — convert between text DIMACS and binary GR
@@ -45,6 +47,8 @@ from repro.bench import (
     write_report,
 )
 from repro.calibration import sim_cost, sim_gpu
+from repro.check import run_check
+from repro.check.testing import FAULTS
 from repro.errors import ReproError
 from repro.graphs import (
     build_suite,
@@ -59,6 +63,7 @@ from repro.graphs import (
 )
 from repro.graphs.gr_format import read_dimacs, write_dimacs
 from repro.graphs.metrics import compute_stats
+from repro.graphs.suite import SuiteEntry
 from repro.gpu.specs import RTX_2080TI, RTX_3090
 from repro.harness import (
     run_suite,
@@ -312,6 +317,48 @@ def cmd_bench(ns) -> int:
     return 0
 
 
+def cmd_check(ns) -> int:
+    spec, cost = _device_args(ns)
+    entries = None
+    solvers = tuple(ns.solvers.split(",")) if ns.solvers else None
+    if ns.graph:
+        g = _load_graph(ns.graph, ns.float)
+        entries = [
+            SuiteEntry(
+                name=g.name or Path(ns.graph).stem,
+                category="file",
+                factory=lambda: g,
+                source=ns.source,
+            )
+        ]
+    checker_factory = None
+    if ns.inject:
+        from repro.check.testing import FaultyChecker
+
+        checker_factory = lambda: FaultyChecker(ns.inject)  # noqa: E731
+    progress = (
+        (lambda msg: print(f"  {msg}", file=sys.stderr)) if ns.verbose else None
+    )
+    report = run_check(
+        ns.matrix,
+        schedules=ns.schedules,
+        seed=ns.seed,
+        entries=entries,
+        solvers=solvers,
+        spec=spec,
+        cost=cost,
+        replay=not ns.no_replay,
+        checker_factory=checker_factory,
+        progress=progress,
+    )
+    if ns.json:
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        for line in report.summary_lines():
+            print(line)
+    return 0 if report.ok else 1
+
+
 def cmd_trace(ns) -> int:
     g = _load_graph(ns.graph, ns.float)
     spec, cost = _device_args(ns)
@@ -473,6 +520,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report (plus compare verdict) as JSON")
     _add_device_flags(b)
     b.set_defaults(fn=cmd_bench)
+
+    ck = sub.add_parser(
+        "check",
+        help="fuzz solvers across perturbed schedules under the SRMW "
+             "protocol checker (see docs/checking.md)",
+    )
+    ck.add_argument("--schedules", type=int, default=8,
+                    help="perturbed schedules per cell (default 8)")
+    ck.add_argument("--seed", type=int, default=0,
+                    help="base seed; schedule i uses schedule_seed(seed, i)")
+    ck.add_argument("--matrix", choices=sorted(MATRICES), default="small")
+    ck.add_argument("--graph",
+                    help="check one graph file instead of a matrix")
+    ck.add_argument("--source", type=int, default=0,
+                    help="source vertex for --graph (default 0)")
+    ck.add_argument("--solvers", metavar="A,B,...",
+                    help="comma-separated solver list "
+                         "(default: the matrix's, or 'adds' with --graph)")
+    ck.add_argument("--float", action="store_true",
+                    help="load --graph weights as float")
+    ck.add_argument("--no-replay", action="store_true",
+                    help="skip the unchecked per-seed replay pass")
+    ck.add_argument("--inject", choices=sorted(FAULTS),
+                    help="TESTING: inject a protocol fault and expect "
+                         "the checker to catch it")
+    ck.add_argument("--verbose", "-v", action="store_true")
+    ck.add_argument("--json", action="store_true",
+                    help="emit the report as JSON")
+    _add_device_flags(ck)
+    ck.set_defaults(fn=cmd_check)
 
     t = sub.add_parser(
         "trace", help="run one solver with tracing; write Perfetto artifacts"

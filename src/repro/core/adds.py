@@ -75,6 +75,9 @@ class AddsState:
     #: the 64-bit twins.  Vertices are re-expanded a handful of times per
     #: solve, so caching the slice objects beats re-slicing the CSR.
     adj: Optional[list] = None
+    #: dynamic protocol checker (:class:`repro.check.ProtocolChecker`);
+    #: set by ``checker.attach``, consulted by the MTB/WTB programs.
+    checker: Optional[object] = None
 
 
 def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
@@ -105,6 +108,8 @@ def solve_adds(
     config: Optional[AddsConfig] = None,
     delta: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    checker: Optional[object] = None,
+    perturb_seed: Optional[int] = None,
 ) -> SSSPResult:
     """Run ADDS on the (simulated) GPU.
 
@@ -126,6 +131,19 @@ def solve_adds(
         (MTB passes, WTB relax batches, bucket pushes, Δ retunes, …).
         Disabled by default; tracing never perturbs the simulation, so
         traced and untraced runs produce identical results.
+    checker:
+        A :class:`repro.check.ProtocolChecker` (one fresh instance per
+        solve).  When given, every queue/memory/AF protocol operation is
+        validated against the SRMW invariants and the no-lost-work
+        oracle runs after termination; any violation raises
+        :class:`~repro.errors.InvariantViolation`.
+    perturb_seed:
+        Seeds the device's schedule perturber (see
+        :class:`~repro.gpu.device.Device`): same-timestamp event order
+        and simultaneous-wake order are randomized deterministically.
+        ``None`` (default) keeps the canonical, bit-reproducible
+        schedule.  Final distances are schedule-invariant; ``work_count``
+        and timing legitimately vary across seeds (racing relaxations).
     """
     spec, cost = resolve_device(spec, cost)
     config = config or AddsConfig()
@@ -143,7 +161,7 @@ def solve_adds(
         raise SolverError("initial delta must be positive")
 
     tracer = coalesce(tracer)
-    device = Device(spec, cost, tracer=tracer)
+    device = Device(spec, cost, tracer=tracer, perturb_seed=perturb_seed)
     n_wtbs = config.n_wtbs
     if n_wtbs is None:
         n_wtbs = max(1, spec.max_resident_blocks - 1)
@@ -199,6 +217,10 @@ def solve_adds(
 
     # Seed: each source is one work item in the head bucket at distance 0.
     queue.bind_device(device)
+    if checker is not None:
+        # attach before seeding so the host-side seed reserve/publish is
+        # accounted like any other writer's
+        checker.attach(device=device, queue=queue, state=state)
     seed = resolve_sources(graph.num_vertices, source, sources)
     queue.ensure_capacity(
         queue.head, config.segment_size * (1 + seed.size // config.segment_size)
@@ -216,6 +238,8 @@ def solve_adds(
             blocks=n_wtbs + 1, solver="adds",
         )
     cycles = device.run()
+    if checker is not None:
+        checker.finalize()  # the no-lost-work oracle
 
     metrics = MetricsRegistry()
     for key, value in (
@@ -248,6 +272,9 @@ def solve_adds(
             "n_wtbs": n_wtbs,
         }
     )
+    if perturb_seed is not None:
+        # only on perturbed runs, so canonical stats stay bit-identical
+        metrics.update({"perturb_seed": perturb_seed})
 
     return SSSPResult(
         solver="adds",

@@ -125,6 +125,9 @@ class BucketQueue:
         # observability (zero-cost unless attach_tracer enables it)
         self._tracer: Tracer = NULL_TRACER
         self._clock: Callable[[], float] = lambda: 0.0
+        # dynamic protocol checker (repro.check); one branch per op when
+        # detached, full SRMW invariant enforcement when attached
+        self._checker = None
 
     def _initial_segments(self) -> int:
         """WCC array size covering one storage block's worth of slots."""
@@ -149,6 +152,16 @@ class BucketQueue:
         ``device.now_us``)."""
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
+
+    def attach_checker(self, checker) -> None:
+        """Route every protocol operation through a
+        :class:`repro.check.ProtocolChecker` (or None to detach).
+
+        The checker learns who performed each operation from the bound
+        device's :meth:`~repro.gpu.device.Device.current_block_name`, so
+        attach it via :meth:`ProtocolChecker.attach`, which wires both
+        sides."""
+        self._checker = checker
 
     def bind_device(self, device) -> None:
         """Wire capacity-channel notifications to ``device.notify``.
@@ -237,12 +250,14 @@ class BucketQueue:
         """Atomically reserve ``k`` slots; returns the starting index."""
         if k <= 0:
             raise ProtocolError("reserve of non-positive count")
-        start = self.mem.atomic_add(self.resv, slot, k)
+        start = int(self.mem.atomic_add(self.resv, slot, k))
         self.total_pushed += k
         self.pushes_since_check += k
         if (slot - self.head) % self.n_buckets == self.n_buckets - 1:
             self.tail_pushes_since_check += k
-        return int(start)
+        if self._checker is not None:
+            self._checker.on_reserve(slot, start, k)
+        return start
 
     def capacity(self, slot: int) -> int:
         """Allocated capacity (virtual slots) of a bucket."""
@@ -254,6 +269,8 @@ class BucketQueue:
         Returns blocks added; growth notifies the bucket's capacity wake
         channel so a WTB stalled on an unbacked reservation re-checks.
         """
+        if self._checker is not None:
+            self._checker.on_ensure_capacity(slot)
         added = self.storage[slot].ensure_capacity(slots)
         if added and self._device is not None:
             self._device.notify(self.cap_keys[slot])
@@ -267,6 +284,10 @@ class BucketQueue:
         k = int(vertices.size)
         if k == 0:
             return 0
+        if self._checker is not None:
+            # before the write: a publish outside the writer's own
+            # reservation must fail before it corrupts storage
+            self._checker.on_publish(slot, int(start), k)
         self.storage[slot].write_range(start, vertices, encode_dist(dists))
         self.mem.fence()  # items fully written before WCC increments
         ss = self.segment_size
@@ -312,6 +333,8 @@ class BucketQueue:
         """
         if k < 0:
             raise ProtocolError("negative completion count")
+        if self._checker is not None:
+            self._checker.on_complete(slot, k, epoch)
         self.mem.fence()  # spawned pushes visible before the CWC update
         if self.epoch.item(slot) == epoch:
             self.mem.atomic_add(self.cwc, slot, k)
@@ -362,15 +385,21 @@ class BucketQueue:
             raise ProtocolError(
                 f"bucket {slot}: readable upper {upper} beyond resv {resv}"
             )
+        if self._checker is not None:
+            self._checker.on_readable_upper(slot, int(r), int(upper))
         return upper, scanned
 
     def advance_read(self, slot: int, upto: int) -> None:
         if upto < self.read[slot]:
             raise ProtocolError("read_ptr may not move backwards")
+        if self._checker is not None:
+            self._checker.on_advance_read(slot, int(upto))
         self.read[slot] = upto
 
     def read_items(self, slot: int, start: int, end: int) -> Tuple[np.ndarray, np.ndarray]:
         """Fetch items (vertices, distances) from a readable range."""
+        if self._checker is not None:
+            self._checker.on_read(slot, int(start), int(end))
         verts, bits = self.storage[slot].read_range(start, end)
         spb = self.storage[slot].slots_per_block
         for vb in range(start // spb, max(start, end - 1) // spb + 1):
@@ -397,6 +426,10 @@ class BucketQueue:
     def rotate(self) -> None:
         """Recycle the head bucket as the new farthest band (§5.4)."""
         slot = self.head
+        if self._checker is not None:
+            # before any guard: the checker must see the pre-rotation
+            # counters to diagnose an unsafe rotation precisely
+            self._checker.on_rotate(slot)
         if not self.bucket_read_out(slot):
             raise ProtocolError("rotation with unread work in the head bucket")
         if not self.config.unsafe_rotation and int(self.cwc[slot]) != int(self.resv[slot]):
@@ -423,6 +456,8 @@ class BucketQueue:
 
     def retire_read_blocks(self, slot: int) -> int:
         """Free whole blocks below both read_ptr and CWC (FIFO shrink)."""
+        if self._checker is not None:
+            self._checker.on_retire(slot)
         safe = min(self.read.item(slot), self.cwc.item(slot))
         return self.storage[slot].retire_below(safe)
 

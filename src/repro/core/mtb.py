@@ -73,6 +73,9 @@ def mtb_program(state):
     af_edges = state.af_edges
     q_epoch = q.epoch
     q_read = q.read
+    # dynamic protocol checker (repro.check); getattr so hand-built test
+    # states without the field keep working
+    checker = getattr(state, "checker", None)
 
     empty_sweeps = 0
     last_integral = 0.0
@@ -118,6 +121,8 @@ def mtb_program(state):
                 af_edges[wid] = est_edges
                 state.outstanding_edges += est_edges
                 af_state[wid] = AF_ASSIGNED  # the worker's AF poll sees this
+                if checker is not None:
+                    checker.on_assign(wid, slot, start, end, epoch_s)
                 notify(af_keys[wid])
                 assignments += 1
                 assigned_items += end - start

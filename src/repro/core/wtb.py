@@ -95,6 +95,9 @@ def wtb_program(state, wid: int):
     ro_item = graph.row_offsets.item
     dist_item = dist.item
     concatenate = np.concatenate
+    # dynamic protocol checker (repro.check); getattr so hand-built test
+    # states without the field keep working
+    checker = getattr(state, "checker", None)
 
     while True:
         yield ("wait", assigned, af_key)
@@ -106,6 +109,10 @@ def wtb_program(state, wid: int):
         end = af_end.item(wid)
         epoch = af_epoch.item(wid)
         k = end - start
+        if checker is not None:
+            # the claim check: what this WTB decoded from its AF must be
+            # exactly what the MTB assigned, in the epoch it was made
+            checker.on_claim(wid, slot, start, end, epoch)
 
         verts, pushed = read_items(slot, start, end)
         if adj is not None and k <= 12:

@@ -33,6 +33,15 @@ class ProtocolError(ReproError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """The dynamic protocol checker (:mod:`repro.check`) observed a state
+    transition the SRMW protocol forbids.
+
+    Subclasses :class:`ProtocolError` — a checker finding *is* a protocol
+    violation — but stays distinct so the check runner can tell "the
+    sanitizer caught it" from the queue's own built-in guards."""
+
+
 class AllocationError(ReproError):
     """The FIFO block allocator ran out of memory or was used out of order."""
 

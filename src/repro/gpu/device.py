@@ -64,6 +64,7 @@ which turns protocol bugs into loud failures instead of hangs.
 from __future__ import annotations
 
 import itertools
+import random
 from heapq import heappop, heappush
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Hashable, List, Optional, Tuple
@@ -112,6 +113,18 @@ class Device:
     max_events:
         Safety valve: total event budget before the engine declares a
         livelock (:class:`DeviceError`).
+    perturb_seed:
+        ``None`` (default) keeps the engine's canonical tie-break — the
+        global registration/issue sequence — and is bit-identical to
+        every engine before the perturber existed.  An integer seeds a
+        deterministic RNG that randomizes the two tie-breaks the
+        canonical order hides: the pop order of events sharing a
+        timestamp, and the wake order of simultaneously-satisfiable
+        channel waiters.  Both orders are *unspecified* on real hardware,
+        so any simulated outcome that changes under perturbation is a
+        schedule-dependence bug; :mod:`repro.check` runs solvers across
+        many seeds to hunt exactly those.  The same seed always replays
+        the same schedule.
     """
 
     def __init__(
@@ -121,6 +134,7 @@ class Device:
         *,
         max_events: int = 20_000_000,
         tracer: Optional[Tracer] = None,
+        perturb_seed: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.cost = cost if cost is not None else CostModel(spec)
@@ -137,6 +151,21 @@ class Device:
         self._blocks: List[BlockContext] = []
         self._heap: List[Tuple[float, int, BlockContext]] = []
         self._seq = itertools.count()
+        # Heap tie-break priority.  Unperturbed it IS the sequence counter
+        # (same object method, so the hot path pays nothing for the
+        # indirection); perturbed it prepends a seeded random draw, so
+        # same-timestamp events pop in RNG order while distinct
+        # timestamps keep their causal order.  The trailing counter keeps
+        # priorities unique (BlockContext is not orderable).
+        self.perturb_seed = perturb_seed
+        if perturb_seed is None:
+            self._rng: Optional[random.Random] = None
+            self._next_prio: Callable[[], object] = self._seq.__next__
+        else:
+            self._rng = random.Random(perturb_seed)
+            rng_random = self._rng.random
+            seq_next = self._seq.__next__
+            self._next_prio = lambda: (rng_random(), seq_next())
         # Wake channels: key -> [(registration order, ctx, predicate)].
         # Waiters across channels wake in registration order, which is
         # exactly the order the rescan engine's waiting list had — the
@@ -189,6 +218,17 @@ class Device:
     @property
     def now_us(self) -> float:
         return self.now / self._cycles_per_us
+
+    def current_block_name(self) -> Optional[str]:
+        """Name of the thread block whose program step is executing.
+
+        ``None`` outside :meth:`run` — i.e. for host-side code such as the
+        solver seeding the source vertex.  The protocol checker uses this
+        to attribute queue operations to their thread block (SRMW role
+        enforcement); it is valid from any code a program calls
+        synchronously between its yields."""
+        ctx = self._current_ctx
+        return None if ctx is None else ctx.name
 
     def active_relax_blocks(self) -> int:
         """Blocks currently inside a ``relax`` event (bandwidth sharers)."""
@@ -288,7 +328,7 @@ class Device:
     # -- internals --------------------------------------------------------------- #
 
     def _schedule(self, ctx: BlockContext, t: float) -> None:
-        heappush(self._heap, (t, next(self._seq), ctx))
+        heappush(self._heap, (t, self._next_prio(), ctx))
 
     def _wake(self, ctx: BlockContext) -> None:
         """Resume a waiter: account idle time, charge the successful poll."""
@@ -300,7 +340,7 @@ class Device:
                 ctx.name, "idle", start_us,
                 self.now_us - start_us, cat="wait",
             )
-        heappush(self._heap, (now + self._af_poll, next(self._seq), ctx))
+        heappush(self._heap, (now + self._af_poll, self._next_prio(), ctx))
 
     def _process_wakes(self) -> None:
         """Evaluate notified channels plus the fallback channel; wake every
@@ -345,7 +385,15 @@ class Device:
         if ready is None:
             return
         if len(ready) > 1:
-            ready.sort()
+            # Canonical order: registration order, exactly the rescan
+            # engine's waiting list.  Perturbed: any permutation of the
+            # simultaneously-satisfied waiters is a legal hardware
+            # outcome, so draw one.
+            if self._rng is None:
+                ready.sort()
+            else:
+                ready.sort()  # seed-independent base order first
+                self._rng.shuffle(ready)
         for item in ready:
             self._wake(item[1])
         self.wakeups += len(ready)
@@ -404,7 +452,7 @@ class Device:
 
         program = ctx.program
         heap = self._heap
-        seq = self._seq
+        prio = self._next_prio
         now = self.now  # the clock only advances in run(), never mid-step
         events = self._total_events
         max_events = self.max_events
@@ -440,7 +488,7 @@ class Device:
                             ctx.name, name, self.now_us,
                             self.spec.cycles_to_us(cycles), cat="compute", **args,
                         )
-                    heappush(heap, (now + cycles, next(seq), ctx))
+                    heappush(heap, (now + cycles, prio(), ctx))
                     return
                 if kind == "relax":
                     cycles, edges = float(event[1]), float(event[2])
@@ -472,7 +520,7 @@ class Device:
                             self.spec.cycles_to_us(cycles), cat="relax", **args,
                         )
                     ctx._pending_relax = edges
-                    heappush(heap, (now + cycles, next(seq), ctx))
+                    heappush(heap, (now + cycles, prio(), ctx))
                     return
                 if kind == "wait":
                     pred = event[1]
@@ -498,7 +546,7 @@ class Device:
                         # still costs that poll, identically to the
                         # rescan engine.
                         self.wakeups += 1
-                        heappush(heap, (now + self._af_poll, next(seq), ctx))
+                        heappush(heap, (now + self._af_poll, prio(), ctx))
                         return
                     self._wait_reg += 1
                     ctx._wait_started = now

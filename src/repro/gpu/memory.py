@@ -63,6 +63,14 @@ class SimMemory:
 
     def __init__(self) -> None:
         self.stats = MemoryStats()
+        # dynamic protocol checker (repro.check): verifies atomic-min
+        # monotonicity/winner semantics when attached, one branch when not
+        self._checker = None
+
+    def attach_checker(self, checker) -> None:
+        """Route ``atomic_min``/``atomic_min_batch`` outcomes through a
+        :class:`repro.check.ProtocolChecker` (or None to detach)."""
+        self._checker = checker
 
     # -- atomics ----------------------------------------------------------- #
 
@@ -89,8 +97,11 @@ class SimMemory:
     def atomic_min(self, arr: np.ndarray, index: int, value) -> bool:
         """``atomicMin``: returns True iff the stored value decreased."""
         self.stats.atomics += 1
-        if value < arr.item(index):
+        old = arr.item(index)
+        if value < old:
             arr[index] = value
+            if self._checker is not None:
+                self._checker.on_atomic_min(arr, index, value, old)
             return True
         return False
 
@@ -120,6 +131,8 @@ class SimMemory:
         self.stats.atomics += n
         if n == 0:
             return np.zeros(0, dtype=bool)
+        checker = self._checker
+        pre_vals = arr[indices] if checker is not None else None
         if n <= 32:
             # Small batches (the common WTB case: a handful of edges per
             # chunk) pay more for the eight-odd NumPy dispatches below
@@ -146,6 +159,8 @@ class SimMemory:
                     winners[pos] = True
                     if has_payload:
                         payload_out[j] = payload[pos]
+            if checker is not None:
+                checker.on_atomic_min_batch(arr, indices, values, pre_vals, winners)
             return winners
         before = arr[indices]  # fancy indexing already copies
         np.minimum.at(arr, indices, values)
@@ -187,6 +202,8 @@ class SimMemory:
                     winners[keep] = True
         if payload is not None and payload_out is not None and any_winners:
             payload_out[indices[winners]] = payload[winners]
+        if checker is not None:
+            checker.on_atomic_min_batch(arr, indices, values, pre_vals, winners)
         return winners
 
     def atomic_cas(self, arr: np.ndarray, index: int, expected, desired) -> int:

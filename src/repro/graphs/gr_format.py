@@ -26,7 +26,7 @@ from __future__ import annotations
 import io
 import struct
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -39,23 +39,41 @@ _HEADER = struct.Struct("<QQQQ")
 _VERSION = 1
 
 
-def write_gr(graph: CSRGraph, path: Union[str, Path], *, float_weights: bool = None) -> None:
+def write_gr(
+    graph: CSRGraph,
+    path: Union[str, Path],
+    *,
+    float_weights: Optional[bool] = None,
+    unweighted: bool = False,
+) -> None:
     """Serialize ``graph`` to a Galois v1 binary ``.gr`` file.
 
     ``float_weights`` overrides the on-disk weight type; by default it
     follows the graph's weight dtype (int32 → uint32 file, float32 → float
     file, matching the artifact's ``sssp-int`` / ``sssp-float`` pairing).
+
+    ``unweighted`` writes ``edge_data_size = 0`` and no weight payload —
+    the form :func:`read_gr` reads back as all-ones weights.  The two
+    flags conflict: an unweighted file has no weight type to pick.
     """
-    if float_weights is None:
+    if unweighted:
+        if float_weights is not None:
+            raise GraphFormatError(
+                "write_gr: unweighted=True writes no weight payload; "
+                "float_weights must be left unset"
+            )
+    elif float_weights is None:
         float_weights = not graph.is_integer_weighted
     n, m = graph.num_vertices, graph.num_edges
     with open(path, "wb") as fh:
-        fh.write(_HEADER.pack(_VERSION, 4, n, m))
+        fh.write(_HEADER.pack(_VERSION, 0 if unweighted else 4, n, m))
         # Galois stores *end* offsets, i.e. row_offsets[1:].
         fh.write(graph.row_offsets[1:].astype("<u8").tobytes())
         fh.write(graph.col_indices.astype("<u4").tobytes())
         if m % 2 == 1:
             fh.write(b"\x00\x00\x00\x00")
+        if unweighted:
+            return
         if float_weights:
             fh.write(graph.weights.astype("<f4").tobytes())
         else:
@@ -92,7 +110,15 @@ def read_gr(
         )
     ends = np.frombuffer(data, dtype="<u8", count=n, offset=off).astype(np.int64)
     off += 8 * n
-    cols = np.frombuffer(data, dtype="<u4", count=m, offset=off).astype(np.int32)
+    raw_cols = np.frombuffer(data, dtype="<u4", count=m, offset=off)
+    oob = raw_cols >= n
+    if np.any(oob):
+        j = int(np.argmax(oob))
+        raise GraphFormatError(
+            f"{path}: col_indices[{j}] = {int(raw_cols[j])} out of range "
+            f"for {n} nodes"
+        )
+    cols = raw_cols.astype(np.int32)
     off += 4 * m
     if m % 2 == 1:
         off += 4

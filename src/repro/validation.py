@@ -20,6 +20,7 @@ from repro.errors import ValidationError
 
 __all__ = [
     "Mismatch",
+    "MismatchReport",
     "verify_results",
     "assert_results_match",
     "write_dist_file",
@@ -40,6 +41,23 @@ class Mismatch:
         return f"mismatch at vertex {self.vertex}: {self.dist_a} != {self.dist_b}"
 
 
+class MismatchReport(List[Mismatch]):
+    """Mismatches reported by :func:`verify_results`, plus the real count.
+
+    The list itself is capped at ``max_report`` entries; ``total`` is the
+    untruncated mismatch count, so a 91204-vertex disagreement is never
+    mistaken for a 50-vertex one.  Still a plain list to existing callers.
+    """
+
+    def __init__(self, mismatches=(), total: int = None) -> None:
+        super().__init__(mismatches)
+        self.total = len(self) if total is None else int(total)
+
+    @property
+    def truncated(self) -> bool:
+        return self.total > len(self)
+
+
 def verify_results(
     a: SSSPResult,
     b: SSSPResult,
@@ -47,7 +65,7 @@ def verify_results(
     atol: float = 0.0,
     rtol: float = 0.0,
     max_report: int = 50,
-) -> List[Mismatch]:
+) -> MismatchReport:
     """Compare two results' distances; returns the mismatching vertices.
 
     ``atol``/``rtol`` cover float solvers and the artifact's NV caveat
@@ -74,20 +92,22 @@ def verify_results(
     bad_vals = np.zeros_like(bad)
     bad_vals[both] = np.abs(da[both] - db[both]) > tol
     bad |= bad_vals
-    out = []
-    for v in np.flatnonzero(bad)[:max_report]:
-        out.append(Mismatch(vertex=int(v), dist_a=float(da[v]), dist_b=float(db[v])))
-    return out
+    idx = np.flatnonzero(bad)
+    out = [
+        Mismatch(vertex=int(v), dist_a=float(da[v]), dist_b=float(db[v]))
+        for v in idx[:max_report]
+    ]
+    return MismatchReport(out, total=int(idx.size))
 
 
 def assert_results_match(a: SSSPResult, b: SSSPResult, **kw) -> None:
     """Raise :class:`ValidationError` listing mismatches, if any."""
     mism = verify_results(a, b, **kw)
-    if mism:
+    if mism.total:
         listing = "\n".join(str(m) for m in mism[:10])
         raise ValidationError(
             f"{a.solver} vs {b.solver} on {a.graph_name}: "
-            f"{len(mism)}+ mismatches\n{listing}"
+            f"{mism.total} mismatches\n{listing}"
         )
 
 

@@ -70,6 +70,41 @@ class TestSchema:
             load_report(p)
 
 
+class TestPeakRss:
+    """ru_maxrss has no portable unit; the report must pin one."""
+
+    def test_linux_kib_passthrough(self):
+        from repro.bench.runner import _peak_rss_kb
+
+        assert _peak_rss_kb(getrusage=lambda: 4096, sys_platform="linux") == 4096
+
+    def test_darwin_bytes_normalized(self):
+        from repro.bench.runner import _peak_rss_kb
+
+        assert (
+            _peak_rss_kb(getrusage=lambda: 4096 * 1024, sys_platform="darwin")
+            == 4096
+        )
+
+    def test_monkeypatched_getrusage(self, monkeypatch):
+        import resource
+
+        from repro.bench.runner import _peak_rss_kb
+
+        class FakeUsage:
+            ru_maxrss = 12345
+
+        monkeypatch.setattr(resource, "getrusage", lambda who: FakeUsage())
+        assert _peak_rss_kb(sys_platform="linux") == 12345
+        assert _peak_rss_kb(sys_platform="darwin") == 12345 // 1024
+
+    def test_report_records_rss_unit(self, tiny_report):
+        from repro.bench.runner import RSS_UNIT
+
+        payload = tiny_report.to_json_dict()
+        assert payload["host"]["rss_unit"] == RSS_UNIT == "KiB"
+
+
 class TestMatrices:
     def test_pinned_matrices_exist(self):
         assert set(matrix_solvers("small")) == {"adds", "nf"}

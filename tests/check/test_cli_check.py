@@ -1,0 +1,47 @@
+"""CLI surface of ``python -m repro check``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import grid_road, write_gr
+
+
+@pytest.fixture
+def gr_file(tmp_path):
+    p = tmp_path / "road.gr"
+    write_gr(grid_road(10, 8, seed=3), p)
+    return str(p)
+
+
+class TestCheckCommand:
+    def test_graph_pass(self, gr_file, capsys):
+        assert main(["check", "--schedules", "2", "--graph", gr_file]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "2 perturbed schedules" in out
+
+    def test_inject_fails_with_nonzero_exit(self, gr_file, capsys):
+        rc = main(
+            ["check", "--schedules", "1", "--graph", gr_file,
+             "--inject", "publish-overlap", "--no-replay"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "publish-bounds" in out
+
+    def test_json_output(self, gr_file, capsys):
+        assert main(
+            ["check", "--schedules", "1", "--graph", gr_file, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["ok"] is True
+
+    def test_unknown_matrix_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--matrix", "nonsense"])

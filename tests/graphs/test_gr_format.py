@@ -70,6 +70,24 @@ class TestGrRoundTrip:
         write_gr(small_rmat, p)
         assert_same_graph(small_rmat, read_gr(p))
 
+    def test_unweighted_roundtrip(self, tmp_path, small_road):
+        p = tmp_path / "u.gr"
+        write_gr(small_road, p, unweighted=True)
+        # edge_data_size = 0 on disk, no weight payload
+        version, edata, n, m = struct.unpack_from("<QQQQ", p.read_bytes(), 0)
+        assert edata == 0
+        pad = 4 if m % 2 == 1 else 0
+        assert p.stat().st_size == 32 + 8 * n + 4 * m + pad
+        g = read_gr(p)
+        assert np.array_equal(g.row_offsets, small_road.row_offsets)
+        assert np.array_equal(g.col_indices, small_road.col_indices)
+        assert np.all(g.weights == 1)
+
+    def test_unweighted_rejects_float_weights(self, tmp_path, small_road):
+        with pytest.raises(GraphFormatError, match="unweighted"):
+            write_gr(small_road, tmp_path / "u.gr",
+                     unweighted=True, float_weights=True)
+
 
 class TestGrErrors:
     def test_truncated_header(self, tmp_path):
@@ -94,6 +112,29 @@ class TestGrErrors:
         p = tmp_path / "bad.gr"
         p.write_bytes(struct.pack("<QQQQ", 1, 4, 100, 500))
         with pytest.raises(GraphFormatError, match="too short"):
+            read_gr(p)
+
+    def test_col_index_out_of_range(self, tmp_path):
+        # 2 vertices, 2 edges; second edge targets vertex 7 (>= num_nodes)
+        p = tmp_path / "bad.gr"
+        body = struct.pack("<QQQQ", 1, 4, 2, 2)
+        body += struct.pack("<QQ", 1, 2)  # valid out_idx ends
+        body += struct.pack("<II", 1, 7)  # cols: 1 ok, 7 out of range
+        body += struct.pack("<II", 1, 1)  # weights
+        p.write_bytes(body)
+        with pytest.raises(GraphFormatError, match=r"col_indices\[1\] = 7"):
+            read_gr(p)
+
+    def test_col_index_huge_not_wrapped(self, tmp_path):
+        # a u32 that would go negative under a blind int32 cast must be
+        # reported with its real value, not silently wrapped
+        p = tmp_path / "bad.gr"
+        body = struct.pack("<QQQQ", 1, 4, 2, 2)
+        body += struct.pack("<QQ", 1, 2)
+        body += struct.pack("<II", 0, 2**31 + 5)
+        body += struct.pack("<II", 1, 1)
+        p.write_bytes(body)
+        with pytest.raises(GraphFormatError, match=str(2**31 + 5)):
             read_gr(p)
 
     def test_corrupt_out_idx(self, tmp_path):

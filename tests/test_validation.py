@@ -8,6 +8,7 @@ import pytest
 from repro.baselines.common import SSSPResult
 from repro.errors import ValidationError
 from repro.validation import (
+    MismatchReport,
     assert_results_match,
     read_dist_file,
     verify_dist_files,
@@ -75,6 +76,39 @@ class TestVerifyResults:
     def test_assert_raises_with_listing(self):
         with pytest.raises(ValidationError, match="mismatch"):
             assert_results_match(result([0, 1]), result([0, 2]))
+
+
+class TestMismatchTotal:
+    """max_report truncates the listing, never the count."""
+
+    def test_total_survives_truncation(self):
+        a = result(list(range(100)))
+        b = result([x + 1 for x in range(100)])
+        m = verify_results(a, b, max_report=5)
+        assert isinstance(m, MismatchReport)
+        assert len(m) == 5
+        assert m.total == 100
+        assert m.truncated
+
+    def test_total_matches_len_when_untruncated(self):
+        m = verify_results(result([0, 1, 2]), result([0, 9, 7]))
+        assert m.total == len(m) == 2
+        assert not m.truncated
+
+    def test_clean_compare_has_zero_total(self):
+        m = verify_results(result([0, 1]), result([0, 1]))
+        assert m == [] and m.total == 0
+
+    def test_assert_message_reports_real_total(self):
+        a = result(list(range(100)))
+        b = result([x + 1 for x in range(100)])
+        with pytest.raises(ValidationError, match="100 mismatches"):
+            assert_results_match(a, b, max_report=5)
+
+    def test_assert_raises_even_when_listing_empty(self):
+        # max_report=0 yields an empty listing, but the compare still failed
+        with pytest.raises(ValidationError, match="1 mismatches"):
+            assert_results_match(result([0, 1]), result([0, 2]), max_report=0)
 
 
 class TestDistFiles:
