@@ -7,6 +7,9 @@ Subcommands mirror how the paper's artifact is driven:
 - ``solve``    — run one solver on one graph (the ``ads_int``-style binary)
 - ``suite``    — run solvers over the built-in corpus (``run_all.sh``)
 - ``bench``    — run a pinned benchmark matrix; emit/compare ``BENCH_*.json``
+- ``serve-bench`` — replay a synthetic query trace through the
+  :mod:`repro.serve` session; report latency percentiles, throughput,
+  batch sizes and cache hit rate (see ``docs/serving.md``)
 - ``check``    — fuzz solvers across perturbed schedules under the SRMW
   protocol checker (see ``docs/checking.md``)
 - ``trace``    — run one solver with tracing on; write Perfetto/CSV artifacts
@@ -70,6 +73,7 @@ from repro.harness import (
     run_traced_solve,
     write_result_files,
 )
+from repro.serve import run_serve_bench
 from repro.validation import verify_dist_files, write_dist_file
 
 __all__ = ["main", "build_parser"]
@@ -317,6 +321,65 @@ def cmd_bench(ns) -> int:
     return 0
 
 
+def cmd_serve_bench(ns) -> int:
+    spec, cost = _device_args(ns)
+    progress = None
+    if ns.verbose:
+        progress = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
+    payload = run_serve_bench(
+        queries=ns.queries,
+        scale=ns.scale,
+        max_graphs=ns.max_graphs,
+        categories=ns.categories.split(",") if ns.categories else None,
+        solver=ns.solver,
+        window_s=ns.window,
+        max_batch=ns.max_batch,
+        cache_entries=ns.cache_entries,
+        burst=ns.burst,
+        seed=ns.seed,
+        jobs=ns.jobs,
+        spec=spec,
+        cost=cost,
+        tag=ns.tag,
+        verify=not ns.no_verify,
+        progress=progress,
+    )
+    if ns.out:
+        out = Path(ns.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+    if ns.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        res = payload["results"]
+        lat = res["latency_ms"]
+        print(
+            f"served {res['served']} queries in {res['wall_s']:.2f}s "
+            f"({res['throughput_qps']:.0f} q/s, solver {ns.solver})"
+        )
+        print(
+            f"latency ms: p50 {lat['p50']:.2f}  p90 {lat['p90']:.2f}  "
+            f"p99 {lat['p99']:.2f}  max {lat['max']:.2f}"
+        )
+        print(
+            f"cache: {res['cache']['hits']:.0f} hits / "
+            f"{res['cache']['misses']:.0f} misses "
+            f"(hit rate {res['cache']['hit_rate']:.1%}), "
+            f"mean batch {res['batch_mean']:.1f}"
+        )
+        hist = ", ".join(f"{k}x{v}" for k, v in res["batch_size_hist"].items())
+        print(f"batch sizes: {hist}")
+        if payload["verify"]["enabled"]:
+            n_bad = len(payload["verify"]["mismatches"])
+            print(
+                f"verify: {payload['verify']['checked']} distinct solves "
+                f"re-checked directly, {n_bad} mismatches"
+            )
+    if payload["verify"]["enabled"] and payload["verify"]["mismatches"]:
+        return 1
+    return 0
+
+
 def cmd_check(ns) -> int:
     spec, cost = _device_args(ns)
     entries = None
@@ -520,6 +583,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report (plus compare verdict) as JSON")
     _add_device_flags(b)
     b.set_defaults(fn=cmd_bench)
+
+    sv = sub.add_parser(
+        "serve-bench",
+        help="replay a synthetic query trace through repro.serve; "
+             "report latency/throughput/cache JSON",
+    )
+    sv.add_argument("--queries", type=int, default=10_000,
+                    help="trace length (default 10000)")
+    sv.add_argument("--scale", type=float, default=0.25,
+                    help="suite graph scale (default 0.25)")
+    sv.add_argument("--max-graphs", type=int, default=4,
+                    help="how many suite graphs to load (default 4)")
+    sv.add_argument("--categories",
+                    help="comma-separated suite categories (default all)")
+    sv.add_argument("--solver", default="dijkstra",
+                    choices=sorted(SOLVERS),
+                    help="solver every query is answered with")
+    sv.add_argument("--window", type=float, default=0.0, metavar="SECONDS",
+                    help="batching window recorded in the payload (the "
+                         "replay drains synchronously per burst)")
+    sv.add_argument("--max-batch", type=int, default=32,
+                    help="unique sources per dispatched batch")
+    sv.add_argument("--cache-entries", type=int, default=64,
+                    help="distance-cache capacity (full solves)")
+    sv.add_argument("--burst", type=int, default=32,
+                    help="submissions between synchronous drains")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="trace RNG seed")
+    sv.add_argument("--jobs", type=int, default=1,
+                    help="executor worker processes (1 = inline)")
+    sv.add_argument("--tag", default=None, help="free-form label in the payload")
+    sv.add_argument("--out", metavar="FILE",
+                    help="also write the JSON payload to FILE")
+    sv.add_argument("--no-verify", action="store_true",
+                    help="skip the bit-exact re-solve of every served "
+                         "(graph, source)")
+    sv.add_argument("--verbose", "-v", action="store_true")
+    sv.add_argument("--json", action="store_true",
+                    help="print the payload as JSON")
+    _add_device_flags(sv)
+    sv.set_defaults(fn=cmd_serve_bench)
 
     ck = sub.add_parser(
         "check",

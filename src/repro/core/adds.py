@@ -195,6 +195,17 @@ def solve_adds(
         pool.attach_tracer(tracer, clock)
         controller.attach_tracer(tracer, clock)
 
+    # A prepared graph (CSRGraph.prepare(), e.g. a serving session's load
+    # step) supplies the int64/float64 twins and the adjacency cache; the
+    # fallback casts per solve, exactly as before — same values either way.
+    prep = graph.prepared()
+    if prep is None:
+        col64 = graph.col_indices.astype(np.int64)
+        w64 = graph.weights.astype(np.float64)
+        adj: list = [None] * graph.num_vertices
+    else:
+        col64, w64, adj = prep.col64, prep.w64, prep.adj
+
     state = AddsState(
         graph=graph,
         device=device,
@@ -210,9 +221,9 @@ def solve_adds(
         af_end=np.zeros(n_wtbs, dtype=np.int64),
         af_epoch=np.zeros(n_wtbs, dtype=np.int64),
         af_edges=np.zeros(n_wtbs, dtype=np.float64),
-        col64=graph.col_indices.astype(np.int64),
-        w64=graph.weights.astype(np.float64),
-        adj=[None] * graph.num_vertices,
+        col64=col64,
+        w64=w64,
+        adj=adj,
     )
 
     # Seed: each source is one work item in the head bucket at distance 0.

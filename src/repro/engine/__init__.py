@@ -10,8 +10,13 @@ sweeps skip regeneration.
 
 Layers, adoptable independently:
 
-- :mod:`repro.engine.scheduler` — cell planning and execution policy
+- :mod:`repro.engine.worker` — worker-side primitives (graph
+  materialization, the cell alarm, :func:`execute_cell`'s
+  fault-isolation boundary);
+- :mod:`repro.engine.scheduler` — cell planning and sweep policy
   (:class:`EngineConfig`, :func:`plan_cells`, :func:`run_cells`);
+- :mod:`repro.engine.executor` — the long-lived :class:`QueryExecutor`
+  serving sessions dispatch to (:mod:`repro.serve`);
 - :mod:`repro.engine.store` — incremental JSONL persistence and resume;
 - :mod:`repro.engine.cache` — content-addressed on-disk graph cache;
 - :mod:`repro.engine.failure` — the :class:`FailedRun` record;
@@ -20,6 +25,7 @@ Layers, adoptable independently:
 """
 
 from repro.engine.cache import CACHE_FORMAT_VERSION, GraphCache
+from repro.engine.executor import QueryExecutor
 from repro.engine.failure import FAILURE_KINDS, FailedRun
 from repro.engine.scheduler import (
     Cell,
@@ -29,13 +35,18 @@ from repro.engine.scheduler import (
     run_cells,
 )
 from repro.engine.store import ResultStore, result_from_json, result_to_json
+from repro.engine.worker import execute_cell, materialize_graph, worker_init
 
 __all__ = [
     "Cell",
     "EngineConfig",
     "EngineResult",
+    "QueryExecutor",
     "plan_cells",
     "run_cells",
+    "execute_cell",
+    "materialize_graph",
+    "worker_init",
     "FailedRun",
     "FAILURE_KINDS",
     "GraphCache",

@@ -31,35 +31,44 @@ registry entry point, so the engine never special-cases solver names.
 Determinism: cells are independent and every solver is deterministic, so
 ``jobs=N`` produces bit-identical :class:`SSSPResult` fields to the
 serial ``jobs=1`` path — only wall-clock order differs.
+
+.. versionchanged:: PR 6
+   The worker-side primitives (cell execution, graph memo, alarm) moved
+   to :mod:`repro.engine.worker` so the long-lived
+   :class:`~repro.engine.executor.QueryExecutor` shares them; this
+   module keeps the sweep-shaped policy (planning, fan-out, retries,
+   stall watchdog, resume).
 """
 
 from __future__ import annotations
 
-import importlib
 import os
-import signal
-import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.baselines.common import SolveRequest, SSSPResult, get_solver
+from repro.baselines.common import SSSPResult, get_solver
 from repro.engine.cache import GraphCache
 from repro.engine.failure import FailedRun
 from repro.engine.store import ResultStore
+from repro.engine.worker import (
+    CellTimeout,
+    execute_cell,
+    worker_init,
+)
 from repro.errors import EngineError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import GraphSpec, SuiteEntry
 
 __all__ = ["Cell", "EngineConfig", "EngineResult", "run_cells", "plan_cells"]
 
-
-class CellTimeout(Exception):
-    """Raised inside a worker when a cell exceeds its time budget."""
+# Pre-refactor aliases: these were module-private here before PR 6, but
+# keeping them importable costs nothing and spares external scripts.
+_execute_cell = execute_cell
+_worker_init = worker_init
 
 
 @dataclass
@@ -161,109 +170,13 @@ class EngineResult:
     #: measured in the worker around graph materialization + solve.
     #: Resumed cells have no timing (they were not executed this run).
     timings: Dict[Tuple[str, str], float] = field(default_factory=dict)
-
-
-# --------------------------------------------------------------------- #
-# worker side
-# --------------------------------------------------------------------- #
-
-#: Per-process memo of built graphs: (cache_key, display_name) -> CSRGraph.
-#: Workers run many cells against the same graph; building it once per
-#: process keeps spec shipping cheaper than array shipping.
-_GRAPH_MEMO: Dict[Tuple[str, str], CSRGraph] = {}
-
-
-def _worker_init(solver_modules: Sequence[str]) -> None:
-    """Pool initializer: make sure every solver the sweep needs exists in
-    this process's registry (the core registry populates on import of
-    :mod:`repro`; plugins must be imported explicitly)."""
-    for mod in solver_modules:
-        importlib.import_module(mod)
-
-
-@contextmanager
-def _cell_alarm(timeout_s: Optional[float]):
-    """Arm ``SIGALRM`` to bound one cell, where the platform allows it.
-
-    Signals only deliver to main threads on POSIX; elsewhere the parent
-    watchdog is the only enforcement layer.
-    """
-    usable = (
-        timeout_s is not None
-        and hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
+    #: ``(graph_name, solver) -> (started_at, ended_at)`` wall-clock
+    #: epoch-second timestamps of the successful attempt, recorded in the
+    #: worker (same clock for start and end, so latency percentiles are
+    #: computable without re-instrumenting).  Resumed cells have none.
+    spans: Dict[Tuple[str, str], Tuple[float, float]] = field(
+        default_factory=dict
     )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise CellTimeout()
-
-    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, old_handler)
-
-
-def _materialize_graph(cell: Cell) -> CSRGraph:
-    """Obtain the cell's graph in this process (memoized)."""
-    if cell.graph is not None:
-        return cell.graph
-    if cell.graph_spec is None:
-        raise EngineError(f"cell {cell.key} carries neither graph nor spec")
-    memo_key = (cell.graph_spec.cache_key(), cell.graph_name)
-    g = _GRAPH_MEMO.get(memo_key)
-    if g is None:
-        if cell.cache_dir is not None:
-            g = GraphCache(cell.cache_dir).get_or_build(
-                cell.graph_spec, name=cell.graph_name
-            )
-        else:
-            g = cell.graph_spec.build()
-        if g.name != cell.graph_name:
-            g = CSRGraph(
-                row_offsets=g.row_offsets,
-                col_indices=g.col_indices,
-                weights=g.weights,
-                name=cell.graph_name,
-            )
-        _GRAPH_MEMO[memo_key] = g
-    return g
-
-
-def _execute_cell(cell: Cell) -> Tuple[str, object, float]:
-    """Run one cell; never raises for solver-level problems.
-
-    Returns ``("ok", SSSPResult, elapsed_s)``, ``("timeout", message,
-    elapsed_s)`` or ``("error", message, elapsed_s)`` — a plain picklable
-    triple, so even exotic solver exceptions can't break the result
-    channel back to the parent.
-    """
-    t0 = time.monotonic()
-    try:
-        graph = _materialize_graph(cell)
-        request = SolveRequest(
-            graph=graph,
-            source=cell.source,
-            spec=cell.spec,
-            cost=cell.cost,
-            options=dict(cell.options),
-        )
-        with _cell_alarm(cell.timeout_s):
-            result = get_solver(cell.solver).solve(request)
-        return ("ok", result, time.monotonic() - t0)
-    except CellTimeout:
-        return (
-            "timeout",
-            f"exceeded the {cell.timeout_s:g}s per-cell budget",
-            time.monotonic() - t0,
-        )
-    except Exception as exc:  # fault-isolation boundary: record, don't kill
-        return ("error", f"{type(exc).__name__}: {exc}", time.monotonic() - t0)
 
 
 # --------------------------------------------------------------------- #
@@ -326,7 +239,7 @@ def run_cells(
     progress: Optional[Callable[[str], None]] = None,
 ) -> EngineResult:
     """Execute a planned cell grid under ``config``'s policy."""
-    _worker_init(config.solver_modules)  # plugins register before the check
+    worker_init(config.solver_modules)  # plugins register before the check
     for name in {c.solver for c in cells}:
         get_solver(name)  # fail fast on typos, before any work
 
@@ -353,14 +266,15 @@ def run_cells(
 
     attempts: Dict[Tuple[str, str], int] = {c.key: 0 for c in todo}
 
-    def handle(cell: Cell, outcome: Tuple[str, object, float]) -> bool:
+    def handle(cell: Cell, outcome) -> bool:
         """Record one attempt's outcome; True means "retry this cell"."""
         attempts[cell.key] += 1
-        kind, detail, elapsed = outcome
+        kind, detail, elapsed, span = outcome
         if kind == "ok":
             result = detail
             out.results[cell.key] = result
             out.timings[cell.key] = float(elapsed)
+            out.spans[cell.key] = (float(span[0]), float(span[1]))
             out.executed += 1
             if store is not None:
                 store.append_result(cell.category, result)
@@ -406,7 +320,7 @@ def _run_serial(cells: Sequence[Cell], handle) -> None:
     queue = deque(cells)
     while queue:
         cell = queue.popleft()
-        if handle(cell, _execute_cell(cell)):
+        if handle(cell, execute_cell(cell)):
             queue.append(cell)
 
 
@@ -422,7 +336,7 @@ def _run_parallel(
     while pending:
         executor = ProcessPoolExecutor(
             max_workers=jobs,
-            initializer=_worker_init,
+            initializer=worker_init,
             initargs=(config.solver_modules,),
         )
         wedged = False
@@ -433,7 +347,7 @@ def _run_parallel(
         def submit(cell: Cell) -> bool:
             """Queue one cell; False when the pool can't take work."""
             try:
-                fut = executor.submit(_execute_cell, cell)
+                fut = executor.submit(execute_cell, cell)
             except Exception:  # broken/shut-down pool
                 pending.append(cell)
                 return False
@@ -460,6 +374,7 @@ def _run_parallel(
                         if fut.cancel():
                             pending.append(cell)  # never started: no attempt
                             continue
+                        now = time.time()
                         outcome = (
                             _fut_outcome(fut)
                             if fut.done()
@@ -468,6 +383,7 @@ def _run_parallel(
                                 "worker wedged past the stall watchdog "
                                 f"({stall_limit:g}s without progress)",
                                 float(stall_limit),
+                                (now - float(stall_limit), now),
                             )
                         )
                         progressed = True
@@ -490,9 +406,15 @@ def _run_parallel(
             )
 
 
-def _fut_outcome(fut) -> Tuple[str, object, float]:
-    """A future's outcome triple, mapping pool breakage to an error."""
+def _fut_outcome(fut):
+    """A future's outcome tuple, mapping pool breakage to an error."""
     try:
         return fut.result()
     except Exception as exc:  # BrokenProcessPool, pickling failures, ...
-        return ("error", f"worker failed: {type(exc).__name__}: {exc}", 0.0)
+        now = time.time()
+        return (
+            "error",
+            f"worker failed: {type(exc).__name__}: {exc}",
+            0.0,
+            (now, now),
+        )

@@ -62,3 +62,20 @@ class TraceError(ReproError):
 class EngineError(ReproError):
     """The experiment engine was misconfigured or its on-disk state
     (result store, graph cache) is corrupt."""
+
+
+class ServeError(ReproError):
+    """The serving layer (:mod:`repro.serve`) was misused or a served
+    query failed inside the solver it was dispatched to."""
+
+
+class AdmissionError(ServeError):
+    """A query was rejected at submission because the session's pending
+    queue is at its admission limit.  Deliberately raised *at submit*
+    (not resolved into the future later): back-pressure the caller can
+    react to immediately, instead of a deferred failure."""
+
+
+class ServeTimeout(ServeError):
+    """A query's per-request deadline expired before an answer was
+    served.  Delivered through the query's future."""

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import GraphConstructionError
 
-__all__ = ["CSRGraph", "from_edge_list", "expand_frontier"]
+__all__ = ["CSRGraph", "PreparedArrays", "from_edge_list", "expand_frontier"]
 
 #: Sentinel "infinite" distance for int32 solvers (same role as the
 #: artifact's ``MYINFINITY``).  Chosen so that ``INF_INT32 + max_weight``
@@ -29,6 +29,27 @@ INF_INT32 = np.int32(2**31 - 1)
 
 #: Sentinel distance for float solvers.
 INF_FLOAT32 = np.float32(np.inf)
+
+
+@dataclass
+class PreparedArrays:
+    """Solver-side derived arrays of one graph, built by
+    :meth:`CSRGraph.prepare`.
+
+    ``col64``/``w64`` are the int64/float64 twins the relax hot path
+    gathers from (int32→int64 and int32/float32→float64 are exact, so a
+    solve over the twins is bit-identical to one over the originals);
+    ``adj`` is the per-vertex adjacency cache — ``adj[v]`` is
+    ``(srcs, cols, ws)`` with the latter two views into the twins, filled
+    lazily on first expansion and reused across every subsequent solve on
+    the same graph.  All three are pure functions of the topology and
+    weights, never of any solve's distances, which is what makes sharing
+    them across solves (and serving sessions) safe.
+    """
+
+    col64: np.ndarray
+    w64: np.ndarray
+    adj: list
 
 
 @dataclass(frozen=True)
@@ -150,6 +171,31 @@ class CSRGraph:
                 float(self.weights.max()) if self.num_edges else 0.0
             )
         return self._stats_cache["max_weight"]
+
+    # -- solver-side preparation ----------------------------------------------
+
+    def prepare(self) -> "CSRGraph":
+        """Prebuild the solver-side derived arrays, once, on the graph.
+
+        Hoists the int64/float64 CSR twin casts (and the container for
+        the per-vertex adjacency cache) out of the solve path: a prepared
+        graph pays the cast cost here — e.g. at session load time — and
+        every subsequent solve reuses the same arrays instead of
+        re-casting.  Unprepared graphs keep the historic behavior (each
+        solve casts privately), and prepared solves are bit-identical to
+        unprepared ones.  Idempotent; returns ``self`` for chaining.
+        """
+        if "prepared" not in self._stats_cache:
+            self._stats_cache["prepared"] = PreparedArrays(
+                col64=self.col_indices.astype(np.int64),
+                w64=self.weights.astype(np.float64),
+                adj=[None] * self.num_vertices,
+            )
+        return self
+
+    def prepared(self) -> Optional[PreparedArrays]:
+        """The cached :class:`PreparedArrays`, or None if never prepared."""
+        return self._stats_cache.get("prepared")
 
     # -- transforms -----------------------------------------------------------
 

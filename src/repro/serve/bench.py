@@ -1,0 +1,267 @@
+"""``python -m repro serve-bench``: replay a synthetic query trace.
+
+The serving analogue of :mod:`repro.bench`: where ``bench`` times
+*solves*, ``serve-bench`` exercises the whole serving path — admission,
+window batching, multi-query coalescing, the distance cache — by
+replaying a deterministic synthetic trace (default ~10k queries) over
+suite graphs and reporting service-level numbers: latency percentiles,
+throughput, the batch-size histogram, and cache hit rate, as a
+schema-versioned JSON payload (see ``docs/schema.md``).
+
+The trace is seeded and skewed the way query traffic actually is: most
+queries come from a small *hot set* of sources per graph (hit the
+cache), the rest are uniform cold sources (force solves); about half
+name explicit targets (exercise landmark target slicing).  Replay
+happens in bursts through a synchronous session
+(``autostart=False``), so runs are deterministic — no thread timing in
+the numbers.
+
+With verification on (the default), every distinct ``(graph, source)``
+that was served is re-solved **directly** — fresh, unprepared graph
+build, straight solver call, no session, no cache — and compared
+bit-for-bit against the served full distance array.  Zero tolerated
+mismatches: this is the acceptance gate that serving infrastructure
+never changes an answer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter as TallyCounter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import SolveRequest, get_solver_info
+from repro.errors import ServeError
+from repro.graphs.suite import SuiteEntry, build_suite
+from repro.serve.session import Session
+
+__all__ = [
+    "SERVE_BENCH_SCHEMA_VERSION",
+    "run_serve_bench",
+    "synthesize_trace",
+]
+
+#: Version of the JSON payload emitted by :func:`run_serve_bench`.
+SERVE_BENCH_SCHEMA_VERSION = 1
+
+#: (graph_id, source, targets-or-None) — one query of a replay trace.
+TraceQuery = Tuple[str, int, Optional[Tuple[int, ...]]]
+
+
+def synthesize_trace(
+    graphs: Dict[str, int],
+    n_queries: int,
+    *,
+    seed: int = 0,
+    hot_sources: int = 8,
+    hot_fraction: float = 0.8,
+    target_fraction: float = 0.5,
+    max_targets: int = 4,
+) -> List[TraceQuery]:
+    """Generate a deterministic skewed query trace.
+
+    ``graphs`` maps graph id -> vertex count.  Per graph a hot set of
+    ``hot_sources`` vertices is drawn once; each query picks a graph
+    uniformly, then a hot source with probability ``hot_fraction`` (the
+    cache-friendly mass) or a uniform cold source otherwise, and with
+    probability ``target_fraction`` asks for 1..``max_targets`` explicit
+    targets instead of the full array.
+    """
+    if not graphs:
+        raise ServeError("synthesize_trace needs at least one graph")
+    rng = np.random.default_rng(seed)
+    ids = sorted(graphs)
+    hot: Dict[str, np.ndarray] = {
+        gid: rng.choice(graphs[gid], size=min(hot_sources, graphs[gid]), replace=False)
+        for gid in ids
+    }
+    trace: List[TraceQuery] = []
+    for _ in range(n_queries):
+        gid = ids[int(rng.integers(len(ids)))]
+        n = graphs[gid]
+        if rng.random() < hot_fraction:
+            source = int(hot[gid][int(rng.integers(hot[gid].size))])
+        else:
+            source = int(rng.integers(n))
+        targets: Optional[Tuple[int, ...]] = None
+        if rng.random() < target_fraction:
+            k = int(rng.integers(1, max_targets + 1))
+            targets = tuple(int(t) for t in rng.integers(0, n, size=k))
+        trace.append((gid, source, targets))
+    return trace
+
+
+def _percentiles_ms(latencies_s: Sequence[float]) -> Dict[str, float]:
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    if arr.size == 0:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+
+
+def _fresh_graph(entry: SuiteEntry):
+    """An independent, *unprepared* build of a suite entry — the verify
+    path must not share arrays (or prepared state) with the session."""
+    if entry.spec is not None:
+        g = entry.spec.build()
+    else:
+        g = entry.factory()
+    return g
+
+
+def run_serve_bench(
+    *,
+    queries: int = 10_000,
+    scale: float = 0.25,
+    max_graphs: int = 4,
+    categories: Optional[List[str]] = None,
+    solver: str = "dijkstra",
+    window_s: float = 0.0,
+    max_batch: int = 32,
+    cache_entries: int = 64,
+    burst: int = 32,
+    seed: int = 0,
+    jobs: int = 1,
+    spec=None,
+    cost=None,
+    tag: Optional[str] = None,
+    verify: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Replay a synthetic trace through a :class:`Session`; return the
+    schema-versioned payload.
+
+    Defaults are sized so the full 10k-query replay finishes in seconds:
+    a handful of quarter-scale suite graphs and the ``dijkstra`` CPU
+    reference.  ``burst`` is how many submissions accumulate before each
+    synchronous drain — the deterministic stand-in for the wall-clock
+    window an asynchronous session would use (``window_s`` is recorded
+    in the payload but the replay never sleeps).
+
+    A verification mismatch is reported in the payload, not raised — the
+    CLI turns a nonzero mismatch count into a nonzero exit.
+    """
+    if queries < 1:
+        raise ServeError(f"queries must be >= 1 (got {queries})")
+    if burst < 1:
+        raise ServeError(f"burst must be >= 1 (got {burst})")
+    get_solver_info(solver)  # fail fast on typos
+    say = progress or (lambda msg: None)
+
+    entries = build_suite(scale=scale, categories=categories, max_graphs=max_graphs)
+    if not entries:
+        raise ServeError("suite selection produced no graphs")
+    by_id: Dict[str, SuiteEntry] = {e.name: e for e in entries}
+
+    session = Session(
+        solver=solver,
+        window_s=window_s,
+        max_batch=max_batch,
+        max_pending=max(burst * 2, 64),
+        cache_entries=cache_entries,
+        jobs=jobs,
+        spec=spec,
+        cost=cost,
+        autostart=False,
+    )
+    graphs_meta = []
+    sizes: Dict[str, int] = {}
+    for e in entries:
+        g = session.add_graph(e.name, e.graph())
+        sizes[e.name] = g.num_vertices
+        graphs_meta.append(
+            {
+                "id": e.name,
+                "category": e.category,
+                "vertices": int(g.num_vertices),
+                "edges": int(g.num_edges),
+            }
+        )
+    say(f"loaded {len(entries)} graphs (scale {scale:g})")
+
+    trace = synthesize_trace(sizes, queries, seed=seed)
+    say(f"replaying {len(trace)} queries in bursts of {burst}")
+
+    results = []
+    t0 = time.monotonic()
+    with session:
+        pending = []
+        for i, (gid, source, targets) in enumerate(trace):
+            pending.append(session.submit(gid, source, targets))
+            if len(pending) >= burst or i == len(trace) - 1:
+                session.serve_pending()
+                results.extend(f.result() for f in pending)
+                pending.clear()
+        wall_s = time.monotonic() - t0
+
+        latencies = [r.latency_s for r in results]
+        hist = TallyCounter(session.batch_sizes)
+        cache_stats = session.cache.stats()
+        counters = session.counters()
+
+        verify_block: dict = {"enabled": bool(verify), "checked": 0, "mismatches": []}
+        if verify:
+            served: Dict[Tuple[str, int], np.ndarray] = {}
+            for r in results:
+                served.setdefault((r.graph_id, r.source), r.dist)
+            say(f"verifying {len(served)} distinct (graph, source) solves directly")
+            info = get_solver_info(solver)
+            fresh = {gid: _fresh_graph(by_id[gid]) for gid in sorted(sizes)}
+            mismatches = []
+            for (gid, source), dist in sorted(served.items()):
+                direct = info.solve(
+                    SolveRequest(graph=fresh[gid], source=source, spec=spec, cost=cost)
+                )
+                if not np.array_equal(direct.dist, dist):
+                    bad = int(np.flatnonzero(direct.dist != dist)[0])
+                    mismatches.append(
+                        {
+                            "graph": gid,
+                            "source": source,
+                            "first_vertex": bad,
+                            "served": float(dist[bad]),
+                            "direct": float(direct.dist[bad]),
+                        }
+                    )
+            verify_block["checked"] = len(served)
+            verify_block["mismatches"] = mismatches
+
+    return {
+        "schema_version": SERVE_BENCH_SCHEMA_VERSION,
+        "kind": "serve-bench",
+        "tag": tag,
+        "config": {
+            "queries": queries,
+            "scale": scale,
+            "max_graphs": max_graphs,
+            "categories": categories,
+            "solver": solver,
+            "window_s": window_s,
+            "max_batch": max_batch,
+            "cache_entries": cache_entries,
+            "burst": burst,
+            "seed": seed,
+            "jobs": jobs,
+        },
+        "graphs": graphs_meta,
+        "results": {
+            "served": len(results),
+            "wall_s": wall_s,
+            "throughput_qps": len(results) / wall_s if wall_s > 0 else 0.0,
+            "latency_ms": _percentiles_ms(latencies),
+            "batch_size_hist": {str(k): int(v) for k, v in sorted(hist.items())},
+            "batch_mean": (
+                float(np.mean(session.batch_sizes)) if session.batch_sizes else 0.0
+            ),
+            "cache": cache_stats,
+            "counters": counters,
+        },
+        "verify": verify_block,
+    }

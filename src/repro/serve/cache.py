@@ -1,0 +1,138 @@
+"""The serving session's distance cache.
+
+An SSSP solve is expensive; its output — the full distance array from
+one source — answers *every* point-to-point query from that source.  The
+cache therefore stores full solves keyed ``(graph_id, source)`` and
+treats each cached source as a **landmark**: a target query ``(s, t)``
+is answered by indexing the cached array of ``s``, never by a separate
+solve (:meth:`DistanceCache.targets`).  Because the repo's solvers are
+deterministic, a cached array is bit-identical to what a fresh solve
+would produce, so serving from cache never changes an answer.
+
+Eviction is plain LRU over whole entries (an entry is one ``(graph,
+source)`` solve — arrays are never partially dropped), bounded by
+``max_entries``.  ``invalidate(graph_id)`` drops every entry of one
+graph, the hook a session calls when a graph is replaced or removed;
+there is no time-based expiry because graphs only change through the
+session's explicit load/invalidate API.
+
+Cached arrays are handed out as read-only views so one caller's
+mutation cannot silently corrupt every later answer; callers that need
+to write take an explicit ``.copy()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DistanceCache"]
+
+
+class DistanceCache:
+    """LRU cache of full single-source distance arrays.
+
+    Not thread-safe by itself — the owning :class:`~repro.serve.session.
+    Session` serializes access under its queue lock.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        #: Lookup outcomes (landmark target lookups included).
+        self.hits = 0
+        self.misses = 0
+        #: Entries dropped by LRU pressure (invalidation counts separately).
+        self.evictions = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._entries
+
+    # -- lookups ------------------------------------------------------------ #
+
+    def get(self, graph_id: str, source: int) -> Optional[np.ndarray]:
+        """The cached full distance array for ``(graph_id, source)``, or
+        ``None``.  A hit refreshes the entry's LRU position."""
+        key = (graph_id, int(source))
+        dist = self._entries.get(key)
+        if dist is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return dist
+
+    def peek(self, graph_id: str, source: int) -> Optional[np.ndarray]:
+        """Like :meth:`get` but touching neither counters nor LRU order
+        (for introspection and tests)."""
+        return self._entries.get((graph_id, int(source)))
+
+    def targets(
+        self, graph_id: str, source: int, targets: Sequence[int]
+    ) -> Optional[np.ndarray]:
+        """Landmark reuse: distances ``source -> targets`` sliced out of
+        the cached full solve of ``source``, or ``None`` on miss.  The
+        slice is a fresh (writable) array; the cached full array stays
+        read-only and resident."""
+        dist = self.get(graph_id, source)
+        if dist is None:
+            return None
+        return dist[np.asarray(list(targets), dtype=np.int64)]
+
+    # -- updates ------------------------------------------------------------ #
+
+    def put(self, graph_id: str, source: int, dist: np.ndarray) -> np.ndarray:
+        """Insert (or refresh) one full solve; returns the read-only
+        array the cache retains.  Inserting past capacity evicts the
+        least-recently-used entry."""
+        key = (graph_id, int(source))
+        stored = np.asarray(dist)
+        if stored.flags.writeable:
+            # freeze without copying: the solver result is ours now
+            stored = stored.view()
+            stored.flags.writeable = False
+        self._entries[key] = stored
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return stored
+
+    def invalidate(self, graph_id: str) -> int:
+        """Drop every entry of ``graph_id``; returns how many were
+        dropped.  Unknown ids are a no-op (0), not an error."""
+        doomed = [k for k in self._entries if k[0] == graph_id]
+        for k in doomed:
+            del self._entries[k]
+        self.invalidated += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self.invalidated += len(self._entries)
+        self._entries.clear()
+
+    # -- reporting ----------------------------------------------------------- #
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }

@@ -1,0 +1,473 @@
+"""The long-lived serving session: graphs loaded once, queries batched.
+
+A :class:`Session` is the front-end of :mod:`repro.serve`:
+
+1. **Load time** — :meth:`Session.add_graph` registers a graph under an
+   id and calls :meth:`~repro.graphs.csr.CSRGraph.prepare` on it, so the
+   int64/float64 CSR twins and the adjacency cache are built once, at
+   load, instead of lazily inside the first solve (PR 4 built them per
+   solve).
+2. **Admission** — :meth:`Session.submit` enqueues a query and returns a
+   :class:`~concurrent.futures.Future`.  Past ``max_pending`` waiting
+   queries it raises :class:`~repro.errors.AdmissionError` immediately:
+   back-pressure at the door, not a deferred failure.
+3. **Batching** — queries accumulate for ``window_s``; the
+   :class:`~repro.serve.batcher.Batcher` then coalesces same-graph
+   queries into :class:`~repro.serve.batcher.BatchPlan`\\ s (unique
+   sources deduplicated, ≤ ``max_batch`` solves per dispatch).
+4. **Execution** — each plan's uncached sources are dispatched through
+   the engine's :class:`~repro.engine.executor.QueryExecutor` as
+   ordinary cells; cached sources are served from the
+   :class:`~repro.serve.cache.DistanceCache` (landmark reuse: one full
+   solve answers every later query from that source).
+5. **Demux** — every query's future resolves to a :class:`QueryResult`
+   carrying the full distance array (read-only), sliced target
+   distances when requested, and latency metadata.  A query whose
+   deadline passed resolves exceptionally with
+   :class:`~repro.errors.ServeTimeout` — before dispatch when possible
+   (planning drops it), after the solve otherwise (the answer arrived
+   too late; it still warms the cache).
+
+Two drive modes share all of that machinery: ``autostart=True`` (the
+default) runs a daemon batcher thread — submit from anywhere, futures
+complete asynchronously; ``autostart=False`` is the synchronous mode
+used by tests and the bench replay — the caller invokes
+:meth:`Session.serve_pending` to drain deterministically.
+
+Counters (``SERVE_COUNTER_KEYS``) live in a
+:class:`~repro.trace.MetricsRegistry`: every submission increments
+``serve_admitted`` or ``serve_rejected``; every answered query
+increments exactly one of ``serve_cache_hits`` (source was cached at
+planning time), ``serve_batched`` (source solved by this dispatch) or
+``serve_timeouts``.  Batch sizes are additionally kept as raw samples
+(:attr:`Session.batch_sizes`) because the registry's streaming
+histogram keeps no shape.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import get_solver_info
+from repro.engine.executor import QueryExecutor
+from repro.engine.scheduler import Cell
+from repro.errors import AdmissionError, ServeError, ServeTimeout
+from repro.graphs.csr import CSRGraph
+from repro.serve.batcher import Batcher, BatchPlan, Query
+from repro.serve.cache import DistanceCache
+from repro.trace import SERVE_COUNTER_KEYS, MetricsRegistry
+
+__all__ = ["QueryResult", "Session"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What a query's future resolves to."""
+
+    graph_id: str
+    source: int
+    #: Full distance array from ``source`` (read-only, shared with the
+    #: cache) — bit-identical to a direct single-source solve.
+    dist: np.ndarray
+    #: ``dist[targets]`` when the query named targets, else ``None``.
+    target_dist: Optional[np.ndarray]
+    targets: Optional[Tuple[int, ...]]
+    #: Whether the answer came from the distance cache (landmark reuse)
+    #: rather than a solve dispatched for this batch.
+    from_cache: bool
+    #: Queries coalesced into the dispatch that served this one.
+    batch_size: int
+    #: Submission→completion, on the session's monotonic clock.
+    latency_s: float
+    #: Wall-clock epoch timestamps (submission / completion).
+    submitted_at: float
+    completed_at: float
+
+
+class Session:
+    """A serving session over a fixed set of prebuilt graphs.
+
+    Parameters
+    ----------
+    solver:
+        Registry name every query is answered with (default
+        ``"dijkstra"``, the fast exact CPU reference; any registered
+        solver works — device solvers get ``spec``/``cost``).
+    window_s / max_batch:
+        Batching window and per-dispatch unique-source cap (see
+        :class:`~repro.serve.batcher.Batcher`).
+    max_pending:
+        Admission limit on *waiting* queries; submissions beyond it
+        raise :class:`AdmissionError`.
+    default_timeout_s:
+        Per-request deadline applied when ``submit`` gets no explicit
+        ``timeout_s``; ``None`` = no deadline.
+    cache_entries:
+        Distance-cache capacity (full solves retained across batches).
+    jobs:
+        Worker processes in the underlying
+        :class:`~repro.engine.executor.QueryExecutor`; the default ``1``
+        solves inline on the serving thread — deterministic, and the
+        prepared in-memory graphs are never pickled.
+    spec / cost / solver_options:
+        Forwarded to each dispatched :class:`SolveRequest` (device model
+        for device solvers, per-solver keyword extras).
+    metrics:
+        A shared :class:`MetricsRegistry` to wire the serve counters
+        into; a fresh one is created by default.
+    autostart:
+        Start the daemon batcher thread (asynchronous mode).  With
+        ``False`` the caller drains via :meth:`serve_pending`.
+    store_path:
+        Optional JSONL query log (see :class:`QueryExecutor`).
+    """
+
+    def __init__(
+        self,
+        *,
+        solver: str = "dijkstra",
+        window_s: float = 0.005,
+        max_batch: int = 32,
+        max_pending: int = 1024,
+        default_timeout_s: Optional[float] = None,
+        cache_entries: int = 64,
+        jobs: int = 1,
+        spec=None,
+        cost=None,
+        solver_options: Optional[dict] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        autostart: bool = True,
+        store_path=None,
+    ) -> None:
+        get_solver_info(solver)  # fail at construction, not first query
+        if max_pending < 1:
+            raise ServeError(f"max_pending must be >= 1 (got {max_pending})")
+        self.solver = solver
+        self.max_pending = max_pending
+        self.default_timeout_s = default_timeout_s
+        self.spec = spec
+        self.cost = cost
+        self.solver_options = dict(solver_options or {})
+        self.batcher = Batcher(window_s=window_s, max_batch=max_batch)
+        self.cache = DistanceCache(cache_entries)
+        self.executor = QueryExecutor(jobs=jobs, store_path=store_path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        for key in SERVE_COUNTER_KEYS:
+            self.metrics.counter(key)  # exist-at-zero, so snapshots are total
+        #: Raw batch-size samples (one per dispatched plan), the shape
+        #: the registry's min/max/mean histogram cannot keep.
+        self.batch_sizes: List[int] = []
+        self._graphs: Dict[str, CSRGraph] = {}
+        self._pending: Deque[Query] = deque()
+        self._lock = threading.Condition()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
+
+    # -- graph registry ----------------------------------------------------- #
+
+    def add_graph(self, graph_id: str, graph: CSRGraph) -> CSRGraph:
+        """Register ``graph`` under ``graph_id`` and prepare it (64-bit
+        CSR twins + adjacency cache built now, at load time).  Replacing
+        an existing id invalidates its cached distances."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("session is closed")
+            if graph_id in self._graphs:
+                self.cache.invalidate(graph_id)
+            self._graphs[graph_id] = graph.prepare()
+        return graph
+
+    def remove_graph(self, graph_id: str) -> None:
+        with self._lock:
+            self._graphs.pop(graph_id, None)
+            self.cache.invalidate(graph_id)
+
+    def invalidate(self, graph_id: str) -> int:
+        """Drop all cached distances of ``graph_id`` (e.g. after its
+        weights changed upstream); the graph itself stays loaded."""
+        with self._lock:
+            return self.cache.invalidate(graph_id)
+
+    def graph(self, graph_id: str) -> CSRGraph:
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise ServeError(
+                f"unknown graph id {graph_id!r}; loaded: {sorted(self._graphs)}"
+            ) from None
+
+    @property
+    def graph_ids(self) -> List[str]:
+        return sorted(self._graphs)
+
+    # -- admission ----------------------------------------------------------- #
+
+    def submit(
+        self,
+        graph_id: str,
+        source: int,
+        targets: Optional[Sequence[int]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> "Future[QueryResult]":
+        """Enqueue one query; the future resolves to a
+        :class:`QueryResult` (or :class:`ServeTimeout` /
+        :class:`ServeError` exceptionally).
+
+        Raises :class:`AdmissionError` synchronously when the pending
+        queue is full and :class:`ServeError` for unknown graph ids or
+        out-of-range vertices — bad requests never consume queue space.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("session is closed")
+            graph = self.graph(graph_id)
+            n = graph.num_vertices
+            if not 0 <= int(source) < n:
+                raise ServeError(
+                    f"source {source} out of range for {graph_id!r} ({n} vertices)"
+                )
+            tgt: Optional[Tuple[int, ...]] = None
+            if targets is not None:
+                tgt = tuple(int(t) for t in targets)
+                bad = [t for t in tgt if not 0 <= t < n]
+                if bad:
+                    raise ServeError(
+                        f"targets {bad} out of range for {graph_id!r} ({n} vertices)"
+                    )
+            if len(self._pending) >= self.max_pending:
+                self.metrics.inc("serve_rejected")
+                raise AdmissionError(
+                    f"pending queue full ({self.max_pending} queries); "
+                    f"retry after the current window drains"
+                )
+            if timeout_s is None:
+                timeout_s = self.default_timeout_s
+            now_mono = time.monotonic()
+            q = Query(
+                graph_id=graph_id,
+                source=int(source),
+                targets=tgt,
+                submitted_at=time.time(),
+                submitted_mono=now_mono,
+                deadline=None if timeout_s is None else now_mono + timeout_s,
+            )
+            self._pending.append(q)
+            self.metrics.inc("serve_admitted")
+            self._lock.notify_all()
+            return q.future
+
+    def query(
+        self,
+        graph_id: str,
+        source: int,
+        targets: Optional[Sequence[int]] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> QueryResult:
+        """Synchronous convenience: submit and wait for the answer.
+
+        In synchronous mode (``autostart=False``) this also drains the
+        queue itself, so single-query callers need no extra plumbing.
+        """
+        fut = self.submit(graph_id, source, targets, timeout_s=timeout_s)
+        if self._thread is None:
+            self.serve_pending()
+        return fut.result()
+
+    # -- serving ------------------------------------------------------------- #
+
+    def serve_pending(self) -> int:
+        """Drain the pending queue now: plan batches, solve, demux.
+
+        Returns how many queries reached a final state (answered, timed
+        out, or errored).  The synchronous drive mode for tests and the
+        bench replay; the batcher thread calls the same method.
+        """
+        with self._lock:
+            drained = list(self._pending)
+            self._pending.clear()
+        if not drained:
+            return 0
+        plans, expired = self.batcher.plan(drained, time.monotonic())
+        settled = 0
+        for q in expired:
+            self._fail_timeout(q)
+            settled += 1
+        for plan in plans:
+            settled += self._execute_plan(plan)
+        return settled
+
+    def flush(self, timeout_s: float = 30.0) -> None:
+        """Block until every query admitted so far has settled."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending:
+                    return
+                if self._thread is None:
+                    break  # synchronous mode: drain ourselves below
+            time.sleep(self.batcher.window_s or 0.001)
+        if self._thread is None:
+            self.serve_pending()
+            return
+        raise ServeError(f"flush timed out after {timeout_s:g}s")
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._lock.wait()
+                if self._closed and not self._pending:
+                    return
+            # let the coalescing window fill before draining
+            if self.batcher.window_s:
+                time.sleep(self.batcher.window_s)
+            self.serve_pending()
+
+    def _execute_plan(self, plan: BatchPlan) -> int:
+        graph = self._graphs.get(plan.graph_id)
+        if graph is None:  # unloaded between admission and dispatch
+            for q in plan.queries:
+                q.future.set_exception(
+                    ServeError(f"graph {plan.graph_id!r} was removed")
+                )
+            return len(plan.queries)
+
+        self.batch_sizes.append(plan.size)
+        self.metrics.observe("serve_batch_size", plan.size)
+
+        # one full solve per unique uncached source; cached sources are
+        # the landmark-reuse path
+        dists: Dict[int, np.ndarray] = {}
+        cached: Dict[int, bool] = {}
+        errors: Dict[int, str] = {}
+        to_solve: List[int] = []
+        with self._lock:
+            for src in plan.sources:
+                hit = self.cache.get(plan.graph_id, src)
+                if hit is not None:
+                    dists[src] = hit
+                    cached[src] = True
+                else:
+                    to_solve.append(src)
+        futures = [
+            (
+                src,
+                self.executor.submit(
+                    Cell(
+                        graph_name=plan.graph_id,
+                        category="serve",
+                        solver=self.solver,
+                        source=src,
+                        graph=graph,
+                        spec=self.spec,
+                        cost=self.cost,
+                        options=dict(self.solver_options),
+                    )
+                ),
+            )
+            for src in to_solve
+        ]
+        for src, fut in futures:
+            kind, detail, _elapsed, _span = fut.result()
+            if kind == "ok":
+                with self._lock:
+                    dists[src] = self.cache.put(plan.graph_id, src, detail.dist)
+                cached[src] = False
+            else:
+                errors[src] = f"{kind}: {detail}"
+
+        # demux: every query resolves from its source's single solve
+        settled = 0
+        now_mono = time.monotonic()
+        for q in plan.queries:
+            settled += 1
+            if q.source in errors:
+                q.future.set_exception(
+                    ServeError(
+                        f"solve for ({plan.graph_id!r}, source {q.source}) "
+                        f"failed — {errors[q.source]}"
+                    )
+                )
+                continue
+            if q.expired(now_mono):
+                # the answer exists (and warmed the cache) but came too
+                # late for this caller — timeout degradation, not an error
+                self._fail_timeout(q)
+                continue
+            dist = dists[q.source]
+            target_dist = (
+                dist[np.asarray(q.targets, dtype=np.int64)]
+                if q.targets is not None
+                else None
+            )
+            if cached[q.source]:
+                self.metrics.inc("serve_cache_hits")
+            else:
+                self.metrics.inc("serve_batched")
+            q.future.set_result(
+                QueryResult(
+                    graph_id=plan.graph_id,
+                    source=q.source,
+                    dist=dist,
+                    target_dist=target_dist,
+                    targets=q.targets,
+                    from_cache=cached[q.source],
+                    batch_size=plan.size,
+                    latency_s=now_mono - q.submitted_mono,
+                    submitted_at=q.submitted_at,
+                    completed_at=time.time(),
+                )
+            )
+        return settled
+
+    def _fail_timeout(self, q: Query) -> None:
+        self.metrics.inc("serve_timeouts")
+        q.future.set_exception(
+            ServeTimeout(
+                f"query ({q.graph_id!r}, source {q.source}) missed its "
+                f"deadline before an answer was served"
+            )
+        )
+
+    # -- reporting / lifecycle ----------------------------------------------- #
+
+    def counters(self) -> Dict[str, float]:
+        """The serve counters as a plain dict (all keys always present)."""
+        return {k: self.metrics.value(k) for k in SERVE_COUNTER_KEYS}
+
+    def close(self) -> None:
+        """Settle outstanding queries, stop the thread, free the pool.
+
+        Queries still pending at close are drained (served, not
+        abandoned) before the executor shuts down.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._lock.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self.serve_pending()  # anything the thread didn't get to
+        self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -16,6 +16,7 @@ from repro.trace.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SERVE_COUNTER_KEYS,
     UNIFORM_SOLVER_KEYS,
 )
 from repro.trace.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer, coalesce
@@ -38,6 +39,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SERVE_COUNTER_KEYS",
     "UNIFORM_SOLVER_KEYS",
     "to_perfetto",
     "write_trace_json",

@@ -25,10 +25,31 @@ from typing import Dict, List, Tuple, Union
 
 from repro.errors import TraceError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "UNIFORM_SOLVER_KEYS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SERVE_COUNTER_KEYS",
+    "UNIFORM_SOLVER_KEYS",
+]
 
 #: Keys every solver must report (the cross-solver comparison contract).
 UNIFORM_SOLVER_KEYS = ("atomics", "fences", "kernel_launches", "work_count")
+
+#: Counters a serving session (:mod:`repro.serve`) maintains in its
+#: registry — the serving-side analogue of ``UNIFORM_SOLVER_KEYS``.
+#: ``serve_admitted``/``serve_rejected`` partition submissions at the
+#: admission gate; admitted queries then split into ``serve_cache_hits``
+#: (answered from the distance cache), ``serve_batched`` (dispatched in
+#: a coalesced batch) and ``serve_timeouts`` (expired before an answer).
+SERVE_COUNTER_KEYS = (
+    "serve_admitted",
+    "serve_rejected",
+    "serve_batched",
+    "serve_cache_hits",
+    "serve_timeouts",
+)
 
 
 @dataclass

@@ -1,0 +1,113 @@
+"""QueryExecutor: inline + pooled dispatch, logging, lifecycle, spans."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Cell, QueryExecutor
+from repro.errors import EngineError
+from repro.graphs.suite import GraphSpec
+
+
+def _cell(graph, solver="dijkstra", source=0, **kw):
+    return Cell(
+        graph_name=graph.name or "g",
+        category="test",
+        solver=solver,
+        source=source,
+        graph=graph,
+        **kw,
+    )
+
+
+class TestInlineMode:
+    def test_submit_returns_resolved_future(self, small_road):
+        with QueryExecutor() as ex:
+            fut = ex.submit(_cell(small_road))
+            assert fut.done()  # inline mode executes before returning
+            kind, result, elapsed, span = fut.result()
+            assert kind == "ok"
+            assert result.dist[0] == 0.0
+            assert elapsed >= 0.0
+
+    def test_span_is_wall_clock_ordered(self, small_road):
+        with QueryExecutor() as ex:
+            _, _, _, (started, ended) = ex.execute(_cell(small_road))
+            assert 0 < started <= ended
+
+    def test_solver_error_is_an_outcome_not_an_exception(self, small_road, fault_solvers):
+        with QueryExecutor() as ex:
+            kind, detail, _, _ = ex.execute(_cell(small_road, solver="eng-crash"))
+            assert kind == "error"
+            assert "injected failure" in detail
+
+    def test_dispatch_counter(self, small_road):
+        with QueryExecutor() as ex:
+            for _ in range(3):
+                ex.execute(_cell(small_road))
+            assert ex.dispatched == 3
+
+    def test_jobs_validation(self):
+        with pytest.raises(EngineError):
+            QueryExecutor(jobs=0)
+
+    def test_closed_executor_rejects_submissions(self, small_road):
+        ex = QueryExecutor()
+        ex.close()
+        with pytest.raises(EngineError, match="closed"):
+            ex.submit(_cell(small_road))
+        ex.close()  # idempotent
+
+
+class TestResultLog:
+    def test_ok_outcomes_are_appended_as_store_records(
+        self, small_road, tmp_path, fault_solvers
+    ):
+        log = tmp_path / "served.jsonl"
+        with QueryExecutor(store_path=log) as ex:
+            ex.execute(_cell(small_road, source=0))
+            ex.execute(_cell(small_road, source=3))
+            ex.execute(_cell(small_road, solver="eng-crash"))  # not logged
+        lines = [json.loads(l) for l in log.read_text().splitlines() if l.strip()]
+        records = [l for l in lines if l.get("kind") == "result"]
+        assert len(records) == 2
+        assert {r["result"]["source"] for r in records} == {0, 3}
+
+
+class TestPooledMode:
+    def test_pool_solves_spec_backed_cells(self):
+        spec = GraphSpec.make("grid_road", width=8, height=6, seed=3)
+        cell = Cell(
+            graph_name="grid", category="test", solver="dijkstra",
+            source=0, graph_spec=spec,
+        )
+        with QueryExecutor(jobs=2) as ex:
+            outs = [ex.submit(cell) for _ in range(4)]
+            dists = []
+            for fut in outs:
+                kind, result, _, _ = fut.result(timeout=120)
+                assert kind == "ok"
+                dists.append(result.dist)
+            for d in dists[1:]:
+                assert np.array_equal(d, dists[0])
+
+
+class TestSuiteSpanPlumbing:
+    def test_run_suite_records_spans(self, small_road):
+        from repro.graphs.suite import SuiteEntry
+        from repro.harness import run_suite
+
+        entry = SuiteEntry(
+            name="road", category="road", factory=lambda: small_road
+        )
+        run = run_suite(solvers=("dijkstra", "gun-bf"), suite=[entry], verify=False)
+        rec = run.records[0]
+        for solver in ("dijkstra", "gun-bf"):
+            span = rec.wall_clock(solver)
+            assert span is not None
+            assert span[0] <= span[1]
+        # the two cells ran serially in submission order
+        assert rec.spans["dijkstra"][1] <= rec.spans["gun-bf"][0] + 1e-9

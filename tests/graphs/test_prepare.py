@@ -1,0 +1,66 @@
+"""CSRGraph.prepare(): hoisted 64-bit twins and adjacency cache.
+
+The PR 6 satellite: a serving session pays the int64/float64 twin casts
+and adjacency-cache allocation once at graph load, while solvers keep
+the lazy per-solve fallback — and both paths produce bit-identical
+results (the casts are exact widenings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration import sim_cost, sim_gpu
+from repro.graphs.csr import CSRGraph, PreparedArrays
+
+
+class TestPrepare:
+    def test_prepare_builds_exact_twins(self, small_road):
+        prep = small_road.prepare().prepared()
+        assert isinstance(prep, PreparedArrays)
+        assert prep.col64.dtype == np.int64
+        assert prep.w64.dtype == np.float64
+        assert np.array_equal(prep.col64, small_road.col_indices)
+        assert np.array_equal(prep.w64, small_road.weights)
+        assert len(prep.adj) == small_road.num_vertices
+
+    def test_prepare_is_idempotent(self, small_road):
+        first = small_road.prepare().prepared()
+        second = small_road.prepare().prepared()
+        assert first is second
+
+    def test_unprepared_graph_reports_none(self, small_road):
+        fresh = CSRGraph(
+            row_offsets=small_road.row_offsets,
+            col_indices=small_road.col_indices,
+            weights=small_road.weights,
+            name="fresh",
+        )
+        assert fresh.prepared() is None
+
+    def test_prepared_and_lazy_solves_bit_match(self, small_road):
+        """ADDS consumes the prepared arrays (the WTB relax path); the
+        lazy fallback must produce the identical result."""
+        from repro.baselines.common import get_solver_info
+
+        spec = sim_gpu()
+        cost = sim_cost(spec)
+        lazy = CSRGraph(
+            row_offsets=small_road.row_offsets,
+            col_indices=small_road.col_indices,
+            weights=small_road.weights,
+            name=small_road.name,
+        )
+        prepared = CSRGraph(
+            row_offsets=small_road.row_offsets,
+            col_indices=small_road.col_indices,
+            weights=small_road.weights,
+            name=small_road.name,
+        ).prepare()
+        info = get_solver_info("adds")
+        a = info(lazy, 0, spec=spec, cost=cost)
+        b = info(prepared, 0, spec=spec, cost=cost)
+        assert np.array_equal(a.dist, b.dist)
+        assert np.array_equal(a.predecessors, b.predecessors)
+        assert a.work_count == b.work_count
+        assert a.time_us == b.time_us

@@ -1,0 +1,21 @@
+"""Serve-test fixtures.
+
+Same rule as ``tests/engine/conftest.py``: the eng-* fault solvers must
+not leak into the global registry (suite-wide tests call every
+registered solver, and ``eng-hang`` would hang them), so registration is
+scoped to the tests that opt in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def fault_solvers():
+    """Register the eng-* fault solvers for one test, then remove them."""
+    from repro.engine import testing
+
+    testing.register()
+    yield testing
+    testing.unregister()

@@ -1,0 +1,99 @@
+"""serve-bench: trace determinism, payload schema, verification gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    SERVE_BENCH_SCHEMA_VERSION,
+    run_serve_bench,
+    synthesize_trace,
+)
+
+
+class TestTrace:
+    def test_deterministic_per_seed(self):
+        graphs = {"a": 100, "b": 50}
+        t1 = synthesize_trace(graphs, 200, seed=3)
+        t2 = synthesize_trace(graphs, 200, seed=3)
+        assert t1 == t2
+        assert t1 != synthesize_trace(graphs, 200, seed=4)
+
+    def test_queries_are_in_range(self):
+        graphs = {"a": 37}
+        for gid, source, targets in synthesize_trace(graphs, 300, seed=0):
+            assert gid == "a"
+            assert 0 <= source < 37
+            if targets is not None:
+                assert all(0 <= t < 37 for t in targets)
+
+    def test_hot_sources_dominate(self):
+        trace = synthesize_trace({"a": 10_000}, 500, seed=1, hot_sources=4)
+        counts: dict = {}
+        for _, source, _ in trace:
+            counts[source] = counts.get(source, 0) + 1
+        top4 = sorted(counts.values(), reverse=True)[:4]
+        assert sum(top4) > 0.6 * len(trace)
+
+    def test_empty_graphs_rejected(self):
+        with pytest.raises(ServeError):
+            synthesize_trace({}, 10)
+
+
+class TestPayload:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_serve_bench(
+            queries=250, scale=0.15, max_graphs=2, burst=16, seed=2,
+            tag="unit",
+        )
+
+    def test_schema_versioned(self, payload):
+        assert payload["schema_version"] == SERVE_BENCH_SCHEMA_VERSION
+        assert payload["kind"] == "serve-bench"
+        assert payload["tag"] == "unit"
+
+    def test_required_result_fields(self, payload):
+        res = payload["results"]
+        assert res["served"] == 250
+        for k in ("p50", "p90", "p99", "mean", "max"):
+            assert res["latency_ms"][k] >= 0.0
+        assert res["throughput_qps"] > 0
+        assert res["batch_size_hist"]  # non-empty histogram
+        # every query was served by exactly one batch
+        assert sum(int(s) * n for s, n in res["batch_size_hist"].items()) == 250
+
+    def test_cache_hit_rate_nonzero_on_skewed_trace(self, payload):
+        assert payload["results"]["cache"]["hits"] > 0
+        assert payload["results"]["counters"]["serve_cache_hits"] > 0
+
+    def test_verification_passes_bit_exact(self, payload):
+        assert payload["verify"]["enabled"]
+        assert payload["verify"]["checked"] > 0
+        assert payload["verify"]["mismatches"] == []
+
+    def test_payload_is_json_serializable(self, payload):
+        json.dumps(payload)
+
+    def test_counters_balance(self, payload):
+        c = payload["results"]["counters"]
+        assert c["serve_admitted"] == 250
+        assert c["serve_rejected"] == 0 and c["serve_timeouts"] == 0
+        assert c["serve_batched"] + c["serve_cache_hits"] == 250
+
+
+class TestOptions:
+    def test_verify_can_be_skipped(self):
+        payload = run_serve_bench(
+            queries=40, scale=0.15, max_graphs=1, burst=8, verify=False
+        )
+        assert payload["verify"] == {"enabled": False, "checked": 0, "mismatches": []}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ServeError):
+            run_serve_bench(queries=0)
+        with pytest.raises(ServeError):
+            run_serve_bench(queries=10, burst=0)
