@@ -234,6 +234,10 @@ class SolveRequest:
         ADDS an :class:`~repro.core.config.AddsConfig`).
     tracer:
         A :class:`~repro.trace.Tracer` for ``traceable`` solvers.
+    scheduler:
+        Registered :class:`~repro.core.scheduler.WorkScheduler` name
+        (``accepts_scheduler`` solvers; for ADDS ``"bucket"`` or
+        ``"mlmq"``).  ``None`` means the solver's default scheduler.
     options:
         Extra solver-specific keyword arguments, forwarded verbatim
         (e.g. ``cpu=``/``cost=`` for the CPU cost models).
@@ -247,6 +251,7 @@ class SolveRequest:
     delta: Optional[float] = None
     config: Optional[object] = None
     tracer: Optional[object] = None
+    scheduler: Optional[str] = None
     options: Dict[str, object] = field(default_factory=dict)
 
 
@@ -270,6 +275,8 @@ class SolverInfo:
     accepts_delta: bool = False
     #: Accepts a ``config=`` object (currently only ADDS).
     accepts_config: bool = False
+    #: Accepts a ``scheduler=`` WorkScheduler name (currently only ADDS).
+    accepts_scheduler: bool = False
 
     def __call__(self, graph, source: int = 0, **kwargs) -> "SSSPResult":
         """Legacy keyword-style invocation (thin shim over :attr:`fn`).
@@ -315,6 +322,13 @@ class SolverInfo:
                     f"solver {self.name!r} does not take a config object"
                 )
             kwargs.setdefault("config", request.config)
+        if request.scheduler is not None:
+            if not self.accepts_scheduler:
+                raise SolverError(
+                    f"solver {self.name!r} does not take a scheduler; "
+                    f"pick one of {solver_names(accepts_scheduler=True)}"
+                )
+            kwargs.setdefault("scheduler", request.scheduler)
         return self.fn(request.graph, request.source, **kwargs)
 
 
@@ -330,6 +344,7 @@ def register_solver(
     traceable: bool = False,
     accepts_delta: bool = False,
     accepts_config: bool = False,
+    accepts_scheduler: bool = False,
 ) -> Callable:
     """Decorator registering a solver under its paper name.
 
@@ -348,6 +363,7 @@ def register_solver(
             traceable=traceable,
             accepts_delta=accepts_delta,
             accepts_config=accepts_config,
+            accepts_scheduler=accepts_scheduler,
         )
         return fn
 
@@ -379,6 +395,7 @@ def solver_names(
     traceable: Optional[bool] = None,
     accepts_delta: Optional[bool] = None,
     accepts_config: Optional[bool] = None,
+    accepts_scheduler: Optional[bool] = None,
 ) -> list:
     """Sorted registered names, filtered by capability flags.
 
@@ -394,6 +411,8 @@ def solver_names(
         if accepts_delta is not None and info.accepts_delta != accepts_delta:
             continue
         if accepts_config is not None and info.accepts_config != accepts_config:
+            continue
+        if accepts_scheduler is not None and info.accepts_scheduler != accepts_scheduler:
             continue
         out.append(name)
     return sorted(out)

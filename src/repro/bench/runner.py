@@ -40,6 +40,7 @@ import numpy as np
 from repro.baselines.common import RESULT_SCHEMA_VERSION, SSSPResult
 from repro.bench.matrix import matrix_entries, matrix_solvers
 from repro.calibration import default_cost, default_gpu
+from repro.core.scheduler import DEFAULT_SCHEDULER
 from repro.engine import EngineConfig, plan_cells, run_cells
 from repro.errors import ReproError
 
@@ -179,6 +180,9 @@ class BenchReport:
     cells: List[BenchCell] = field(default_factory=list)
     host: Dict[str, str] = field(default_factory=dict)
     created: Optional[str] = None
+    #: WorkScheduler the matrix's scheduler-accepting solvers ran on.
+    #: Additive within bench_schema 1; absent in pre-PR-7 reports.
+    scheduler: Optional[str] = None
 
     @property
     def total_wall_s(self) -> float:
@@ -200,6 +204,7 @@ class BenchReport:
             "repeats": int(self.repeats),
             "created": self.created,
             "host": dict(self.host),
+            "scheduler": self.scheduler,
             "totals": {"wall_s": self.total_wall_s},
             "cells": [c.to_json_dict() for c in self.cells],
         }
@@ -212,6 +217,7 @@ def run_bench(
     repeats: int = 3,
     spec=None,
     cost=None,
+    scheduler: Optional[str] = None,
     warmup: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     profile_dir: Optional[Union[str, Path]] = None,
@@ -240,7 +246,10 @@ def run_bench(
     entries = matrix_entries(matrix)
     solvers = matrix_solvers(matrix)
     config = EngineConfig(jobs=1)
-    cells = plan_cells(entries, solvers, spec=spec, cost=cost, config=config)
+    cells = plan_cells(
+        entries, solvers, spec=spec, cost=cost, scheduler=scheduler,
+        config=config,
+    )
     if profile_dir is not None:
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
@@ -257,6 +266,7 @@ def run_bench(
             "rss_unit": RSS_UNIT,
         },
         created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        scheduler=scheduler if scheduler is not None else DEFAULT_SCHEDULER,
     )
 
     for cell in cells:

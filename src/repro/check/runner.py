@@ -147,6 +147,8 @@ class CheckReport:
     seed: int
     cells: List[CellCheck] = field(default_factory=list)
     cross_solver_problems: List[str] = field(default_factory=list)
+    #: WorkScheduler the scheduler-accepting solvers were fuzzed on.
+    scheduler: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -174,9 +176,11 @@ class CheckReport:
         for p in self.cross_solver_problems:
             lines.append(f"FAIL cross-solver: {p}")
         verdict = "PASS" if self.ok else "FAIL"
+        sched = f", scheduler {self.scheduler}" if self.scheduler else ""
         lines.append(
             f"{verdict}: {len(self.cells)} cells × "
-            f"{self.schedules} perturbed schedules (base seed {self.seed})"
+            f"{self.schedules} perturbed schedules (base seed {self.seed}"
+            f"{sched})"
         )
         return lines
 
@@ -186,6 +190,7 @@ class CheckReport:
             "target": self.target,
             "schedules": int(self.schedules),
             "seed": int(self.seed),
+            "scheduler": self.scheduler,
             "ok": self.ok,
             "cross_solver_problems": list(self.cross_solver_problems),
             "cells": [c.to_json_dict() for c in self.cells],
@@ -201,6 +206,7 @@ def _solve(
     *,
     perturb_seed: Optional[int],
     checker,
+    scheduler: Optional[str] = None,
 ):
     options: Dict[str, object] = {}
     if solver in CHECKABLE_SOLVERS:
@@ -208,10 +214,13 @@ def _solve(
             options["checker"] = checker
         if perturb_seed is not None:
             options["perturb_seed"] = perturb_seed
+    info = get_solver_info(solver)
     request = SolveRequest(
-        graph=graph, source=source, spec=spec, cost=cost, options=options
+        graph=graph, source=source, spec=spec, cost=cost,
+        scheduler=scheduler if info.accepts_scheduler else None,
+        options=options,
     )
-    return get_solver_info(solver).solve(request)
+    return info.solve(request)
 
 
 def _run_schedule(
@@ -222,13 +231,14 @@ def _run_schedule(
     cost,
     perturb_seed: Optional[int],
     checker_factory: Callable[[], ProtocolChecker],
+    scheduler: Optional[str] = None,
 ) -> ScheduleRun:
     run = ScheduleRun(perturb_seed=perturb_seed)
     checker = checker_factory() if solver in CHECKABLE_SOLVERS else None
     try:
         result = _solve(
             graph, solver, source, spec, cost,
-            perturb_seed=perturb_seed, checker=checker,
+            perturb_seed=perturb_seed, checker=checker, scheduler=scheduler,
         )
     except ReproError as exc:
         run.violation = f"{type(exc).__name__}: {exc}"
@@ -256,6 +266,7 @@ def run_check(
     cost=None,
     replay: bool = True,
     checker_factory: Optional[Callable[[], ProtocolChecker]] = None,
+    scheduler: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> CheckReport:
     """Fuzz a matrix (or explicit ``entries``) across perturbed schedules.
@@ -266,9 +277,19 @@ def run_check(
     entries).  ``checker_factory`` builds the per-run checker — the
     fault-injection tests pass a factory for a sabotaged subclass (see
     :mod:`repro.check.testing`).
+
+    ``scheduler`` names a registered WorkScheduler for the
+    ``accepts_scheduler`` solvers; the other solvers run canonically and
+    still join the cross-solver distance oracle — which is exactly how a
+    rival scheduler's distances get checked bit-for-bit against the
+    baselines (see docs/scheduling.md).
     """
     if schedules < 0:
         raise ReproError(f"schedules must be >= 0 (got {schedules})")
+    if scheduler is not None:
+        from repro.core.scheduler import get_scheduler_info
+
+        get_scheduler_info(scheduler)  # unknown names fail before solving
     spec = spec or default_gpu()
     cost = cost or default_cost(spec)
     notify = progress or (lambda msg: None)
@@ -284,7 +305,9 @@ def run_check(
         if solvers is None:
             solvers = ("adds",)
 
-    report = CheckReport(target=target, schedules=schedules, seed=seed)
+    report = CheckReport(
+        target=target, schedules=schedules, seed=seed, scheduler=scheduler
+    )
     for entry in entries:
         graph = entry.graph()
         source = entry.source
@@ -295,7 +318,8 @@ def run_check(
             report.cells.append(cell)
 
             canonical = _run_schedule(
-                graph, solver, source, spec, cost, None, factory
+                graph, solver, source, spec, cost, None, factory,
+                scheduler=scheduler,
             )
             cell.runs.append(canonical)
             if canonical.violation is not None:
@@ -314,7 +338,8 @@ def run_check(
             for i in range(n_perturbed):
                 pseed = schedule_seed(seed, i)
                 run = _run_schedule(
-                    graph, solver, source, spec, cost, pseed, factory
+                    graph, solver, source, spec, cost, pseed, factory,
+                    scheduler=scheduler,
                 )
                 cell.runs.append(run)
                 if run.violation is not None:
@@ -337,6 +362,7 @@ def run_check(
                     again = _run_schedule(
                         graph, solver, source, spec, cost, pseed,
                         lambda: None,  # unchecked: proves checker passivity
+                        scheduler=scheduler,
                     )
                     run.replay_ok = (
                         again.violation is None

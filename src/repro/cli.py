@@ -52,6 +52,7 @@ from repro.bench import (
 from repro.calibration import sim_cost, sim_gpu
 from repro.check import run_check
 from repro.check.testing import FAULTS
+from repro.core.scheduler import DEFAULT_SCHEDULER, scheduler_names
 from repro.errors import ReproError
 from repro.graphs import (
     build_suite,
@@ -156,6 +157,7 @@ def cmd_solve(ns) -> int:
         spec=spec,
         cost=cost,
         delta=ns.delta,
+        scheduler=ns.scheduler,
     )
     result = info.solve(request)
     if ns.json:
@@ -197,6 +199,7 @@ def cmd_suite(ns) -> int:
     progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) if ns.verbose else None
     run = run_suite(
         solvers=solvers, suite=suite, spec=spec, cost=cost, progress=progress,
+        scheduler=ns.scheduler,
         jobs=None if ns.jobs == 0 else ns.jobs,
         timeout_s=ns.timeout,
         max_attempts=ns.retries,
@@ -208,6 +211,7 @@ def cmd_suite(ns) -> int:
         payload = {
             "schema": RESULT_SCHEMA_VERSION,
             "solvers": list(solvers),
+            "scheduler": ns.scheduler,
             "records": [
                 {
                     "graph": rec.graph,
@@ -276,6 +280,7 @@ def cmd_bench(ns) -> int:
         repeats=ns.repeats,
         spec=spec,
         cost=cost,
+        scheduler=ns.scheduler,
         progress=progress,
         profile_dir=ns.profile,
     )
@@ -332,6 +337,7 @@ def cmd_serve_bench(ns) -> int:
         max_graphs=ns.max_graphs,
         categories=ns.categories.split(",") if ns.categories else None,
         solver=ns.solver,
+        scheduler=ns.scheduler,
         window_s=ns.window,
         max_batch=ns.max_batch,
         cache_entries=ns.cache_entries,
@@ -412,6 +418,7 @@ def cmd_check(ns) -> int:
         cost=cost,
         replay=not ns.no_replay,
         checker_factory=checker_factory,
+        scheduler=ns.scheduler,
         progress=progress,
     )
     if ns.json:
@@ -487,6 +494,13 @@ def _add_device_flags(p):
                    help="use the unscaled device (see repro.calibration)")
 
 
+def _add_scheduler_flag(p):
+    p.add_argument("--scheduler", choices=scheduler_names(), default=None,
+                   help="WorkScheduler for scheduler-accepting solvers "
+                        f"(default: the solver's own, i.e. "
+                        f"{DEFAULT_SCHEDULER!r}; see docs/scheduling.md)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -532,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON result")
     s.add_argument("--json-dist", action="store_true",
                    help="include the full distance array in --json output")
+    _add_scheduler_flag(s)
     _add_device_flags(s)
     s.set_defaults(fn=cmd_solve)
 
@@ -555,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--resume", metavar="STORE",
                    help="JSONL result store; completed cells found in it "
                         "are restored instead of re-run")
+    _add_scheduler_flag(r)
     _add_device_flags(r)
     r.set_defaults(fn=cmd_suite)
 
@@ -581,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--verbose", "-v", action="store_true")
     b.add_argument("--json", action="store_true",
                    help="emit the report (plus compare verdict) as JSON")
+    _add_scheduler_flag(b)
     _add_device_flags(b)
     b.set_defaults(fn=cmd_bench)
 
@@ -622,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--verbose", "-v", action="store_true")
     sv.add_argument("--json", action="store_true",
                     help="print the payload as JSON")
+    _add_scheduler_flag(sv)
     _add_device_flags(sv)
     sv.set_defaults(fn=cmd_serve_bench)
 
@@ -652,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--verbose", "-v", action="store_true")
     ck.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
+    _add_scheduler_flag(ck)
     _add_device_flags(ck)
     ck.set_defaults(fn=cmd_check)
 

@@ -25,10 +25,14 @@ from repro.baselines.common import (
 )
 from repro.baselines.heuristics import davidson_delta
 from repro.calibration import resolve_device
-from repro.core.bucket_queue import BucketQueue
 from repro.core.config import AddsConfig
 from repro.core.delta_controller import DeltaController
 from repro.core.mtb import mtb_program
+from repro.core.scheduler import (
+    DEFAULT_SCHEDULER,
+    WorkScheduler,
+    get_scheduler_info,
+)
 from repro.core.wtb import AF_IDLE, wtb_program
 from repro.errors import SolverError
 from repro.gpu.costmodel import CostModel
@@ -47,7 +51,7 @@ class AddsState:
 
     graph: CSRGraph
     device: Device
-    queue: BucketQueue
+    queue: WorkScheduler
     config: AddsConfig
     controller: DeltaController
     dist: np.ndarray
@@ -97,6 +101,7 @@ def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
     traceable=True,
     accepts_delta=True,
     accepts_config=True,
+    accepts_scheduler=True,
 )
 def solve_adds(
     graph: CSRGraph,
@@ -110,6 +115,7 @@ def solve_adds(
     tracer: Optional[Tracer] = None,
     checker: Optional[object] = None,
     perturb_seed: Optional[int] = None,
+    scheduler: Optional[str] = None,
 ) -> SSSPResult:
     """Run ADDS on the (simulated) GPU.
 
@@ -144,6 +150,11 @@ def solve_adds(
         ``None`` (default) keeps the canonical, bit-reproducible
         schedule.  Final distances are schedule-invariant; ``work_count``
         and timing legitimately vary across seeds (racing relaxations).
+    scheduler:
+        Registered :class:`~repro.core.scheduler.WorkScheduler` name
+        (``"bucket"``, the paper's queue and the default, or
+        ``"mlmq"``).  Final distances are scheduler-invariant — only
+        the work schedule, and hence work/time, differ.
     """
     spec, cost = resolve_device(spec, cost)
     config = config or AddsConfig()
@@ -176,7 +187,10 @@ def solve_adds(
     pool = GlobalPool(
         _pool_blocks_for(graph, config), words_per_block=config.slots_per_block
     )
-    queue = BucketQueue(device.mem, pool, config, initial_delta=initial_delta)
+    scheduler_name = scheduler if scheduler is not None else DEFAULT_SCHEDULER
+    queue = get_scheduler_info(scheduler_name).create(
+        device.mem, pool, config, initial_delta=initial_delta
+    )
     if config.delta_floor is not None:
         delta_floor = config.delta_floor
     else:
@@ -233,11 +247,12 @@ def solve_adds(
         # accounted like any other writer's
         checker.attach(device=device, queue=queue, state=state)
     seed = resolve_sources(graph.num_vertices, source, sources)
+    seed_slot = queue.seed_slot()
     queue.ensure_capacity(
-        queue.head, config.segment_size * (1 + seed.size // config.segment_size)
+        seed_slot, config.segment_size * (1 + seed.size // config.segment_size)
     )
-    start = queue.reserve(queue.head, int(seed.size))
-    queue.publish(queue.head, start, seed, np.zeros(seed.size))
+    start = queue.reserve(seed_slot, int(seed.size))
+    queue.publish(seed_slot, start, seed, np.zeros(seed.size))
 
     device.add_block("MTB", mtb_program(state))
     for w in range(n_wtbs):
@@ -299,6 +314,7 @@ def solve_adds(
         metrics=metrics,
         stats={
             **metrics.snapshot(),
+            "scheduler": scheduler_name,
             "delta_trace": list(state.delta_trace),
         },
     )

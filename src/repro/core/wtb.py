@@ -75,7 +75,7 @@ def wtb_program(state, wid: int):
     # tens of thousands of times per solve.
     trace_on = tracer.enabled
     read_items = q.read_items
-    rel_bands_list = q.rel_bands_list
+    push_slots_list = q.push_slots_list
     reserve = q.reserve
     capacity = q.capacity
     publish = q.publish
@@ -89,7 +89,6 @@ def wtb_program(state, wid: int):
     batch_cost_memo: dict = {}
     atomic_cycles = cost.atomic_cycles
     af_edges = state.af_edges
-    n_buckets = q.n_buckets
     count_nonzero = np.count_nonzero
     adj = state.adj
     ro_item = graph.row_offsets.item
@@ -196,20 +195,18 @@ def wtb_program(state, wid: int):
         # ---- publication at batch completion ---------------------------------
         if nw:
             new_d = dist[new_v]
-            rel_l = rel_bands_list(new_d)
-            head = q.head
+            slots_l = push_slots_list(new_v, new_d)
             push_cost = 0.0
-            rel0 = rel_l[0]
-            if nw == 1 or rel_l.count(rel0) == nw:
-                # common case: the whole batch lands in one band
-                groups = (((head + rel0) % n_buckets, new_v, new_d),)
+            s0 = slots_l[0]
+            if nw == 1 or slots_l.count(s0) == nw:
+                # common case: the whole batch lands in one slot
+                groups = ((s0, new_v, new_d),)
             else:
                 # group by physical slot, ascending (reserve/publish
                 # order is protocol-visible): a scalar pass beats
                 # per-slot boolean masks at these batch sizes
                 by_slot: dict = {}
-                for pos, r in enumerate(rel_l):
-                    s = (head + r) % n_buckets
+                for pos, s in enumerate(slots_l):
                     bucket = by_slot.get(s)
                     if bucket is None:
                         by_slot[s] = [pos]

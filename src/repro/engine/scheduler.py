@@ -148,6 +148,8 @@ class Cell:
     options: Dict[str, object] = field(default_factory=dict, repr=False)
     timeout_s: Optional[float] = None
     cache_dir: Optional[str] = None
+    #: WorkScheduler name for ``accepts_scheduler`` solvers (None = default).
+    scheduler: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -190,6 +192,7 @@ def plan_cells(
     spec=None,
     cost=None,
     solver_options: Optional[Dict[str, dict]] = None,
+    scheduler: Optional[str] = None,
     config: EngineConfig,
 ) -> List[Cell]:
     """Expand (suite × solvers) into the cell grid.
@@ -198,8 +201,23 @@ def plan_cells(
     into the graph cache when one is configured, so workers only ever
     *read* generated graphs); factory-backed entries are built here and
     ship arrays.
+
+    ``scheduler`` names a registered WorkScheduler; it is applied to the
+    solvers that declare ``accepts_scheduler`` (the others keep running
+    their own algorithm — a sweep mixing ADDS with baselines stays
+    valid).  Naming a scheduler when *no* selected solver accepts one is
+    an :class:`EngineError`: the flag would be silently dead.
     """
     solver_options = solver_options or {}
+    if scheduler is not None:
+        from repro.core.scheduler import get_scheduler_info
+
+        get_scheduler_info(scheduler)  # unknown names fail at plan time
+        if not any(get_solver(name).accepts_scheduler for name in solvers):
+            raise EngineError(
+                f"--scheduler {scheduler!r} has no effect: none of "
+                f"{sorted(solvers)} accepts a scheduler"
+            )
     cache = GraphCache(config.cache_dir) if config.cache_dir else None
     cells: List[Cell] = []
     for entry in suite:
@@ -222,6 +240,12 @@ def plan_cells(
                     options=dict(solver_options.get(name, {})),
                     timeout_s=config.timeout_s,
                     cache_dir=str(config.cache_dir) if config.cache_dir else None,
+                    scheduler=(
+                        scheduler
+                        if scheduler is not None
+                        and get_solver(name).accepts_scheduler
+                        else None
+                    ),
                 )
             )
     return cells

@@ -133,6 +133,7 @@ def execute_cell(cell) -> Tuple[str, object, float, Tuple[float, float]]:
             source=cell.source,
             spec=cell.spec,
             cost=cell.cost,
+            scheduler=getattr(cell, "scheduler", None),
             options=dict(cell.options),
         )
         with cell_alarm(cell.timeout_s):

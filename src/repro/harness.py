@@ -163,6 +163,7 @@ def run_suite(
     spec: Optional[DeviceSpec] = None,
     cost: Optional[CostModel] = None,
     solver_options: Optional[Dict[str, dict]] = None,
+    scheduler: Optional[str] = None,
     verify: bool = True,
     verify_atol: float = 1e-2,
     verify_rtol: float = 1e-5,
@@ -178,7 +179,9 @@ def run_suite(
     """Run ``solvers`` over ``suite`` (default: the full corpus).
 
     GPU solvers receive ``spec``/``cost`` (default: the calibrated scaled
-    RTX 2080 Ti); CPU solvers ignore them.  With ``verify=True`` every
+    RTX 2080 Ti); CPU solvers ignore them.  ``scheduler`` names a
+    registered WorkScheduler and applies to the ``accepts_scheduler``
+    solvers in the sweep (see :func:`repro.engine.plan_cells`).  With ``verify=True`` every
     solver's distances are checked against the first solver's (the
     ``verify_against_*`` step); failures are recorded, not raised, so one
     bad run doesn't lose a whole sweep.
@@ -215,7 +218,8 @@ def run_suite(
     )
     cells = plan_cells(
         suite, solvers,
-        spec=spec, cost=cost, solver_options=solver_options, config=config,
+        spec=spec, cost=cost, solver_options=solver_options,
+        scheduler=scheduler, config=config,
     )
     engine_out = run_cells(cells, config, progress=progress)
 

@@ -123,6 +123,7 @@ def run_serve_bench(
     max_graphs: int = 4,
     categories: Optional[List[str]] = None,
     solver: str = "dijkstra",
+    scheduler: Optional[str] = None,
     window_s: float = 0.0,
     max_batch: int = 32,
     cache_entries: int = 64,
@@ -162,6 +163,7 @@ def run_serve_bench(
 
     session = Session(
         solver=solver,
+        scheduler=scheduler,
         window_s=window_s,
         max_batch=max_batch,
         max_pending=max(burst * 2, 64),
@@ -217,7 +219,10 @@ def run_serve_bench(
             mismatches = []
             for (gid, source), dist in sorted(served.items()):
                 direct = info.solve(
-                    SolveRequest(graph=fresh[gid], source=source, spec=spec, cost=cost)
+                    SolveRequest(
+                        graph=fresh[gid], source=source, spec=spec, cost=cost,
+                        scheduler=scheduler,
+                    )
                 )
                 if not np.array_equal(direct.dist, dist):
                     bad = int(np.flatnonzero(direct.dist != dist)[0])
@@ -243,6 +248,7 @@ def run_serve_bench(
             "max_graphs": max_graphs,
             "categories": categories,
             "solver": solver,
+            "scheduler": scheduler,
             "window_s": window_s,
             "max_batch": max_batch,
             "cache_entries": cache_entries,

@@ -100,6 +100,12 @@ class Session:
         Registry name every query is answered with (default
         ``"dijkstra"``, the fast exact CPU reference; any registered
         solver works — device solvers get ``spec``/``cost``).
+    scheduler:
+        Optional registered WorkScheduler name applied to every solve
+        this session dispatches.  Only meaningful with an
+        ``accepts_scheduler`` solver (e.g. ``adds``); naming one for any
+        other solver raises :class:`~repro.errors.ServeError` at
+        construction, not per query.
     window_s / max_batch:
         Batching window and per-dispatch unique-source cap (see
         :class:`~repro.serve.batcher.Batcher`).
@@ -133,6 +139,7 @@ class Session:
         self,
         *,
         solver: str = "dijkstra",
+        scheduler: Optional[str] = None,
         window_s: float = 0.005,
         max_batch: int = 32,
         max_pending: int = 1024,
@@ -146,10 +153,20 @@ class Session:
         autostart: bool = True,
         store_path=None,
     ) -> None:
-        get_solver_info(solver)  # fail at construction, not first query
+        info = get_solver_info(solver)  # fail at construction, not first query
+        if scheduler is not None:
+            from repro.core.scheduler import get_scheduler_info
+
+            get_scheduler_info(scheduler)  # unknown names fail here too
+            if not info.accepts_scheduler:
+                raise ServeError(
+                    f"solver {solver!r} does not take a scheduler; "
+                    f"drop --scheduler or serve with an ADDS-family solver"
+                )
         if max_pending < 1:
             raise ServeError(f"max_pending must be >= 1 (got {max_pending})")
         self.solver = solver
+        self.scheduler = scheduler
         self.max_pending = max_pending
         self.default_timeout_s = default_timeout_s
         self.spec = spec
@@ -375,6 +392,7 @@ class Session:
                         graph=graph,
                         spec=self.spec,
                         cost=self.cost,
+                        scheduler=self.scheduler,
                         options=dict(self.solver_options),
                     )
                 ),
