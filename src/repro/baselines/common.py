@@ -238,6 +238,15 @@ class SolveRequest:
         Registered :class:`~repro.core.scheduler.WorkScheduler` name
         (``accepts_scheduler`` solvers; for ADDS ``"bucket"`` or
         ``"mlmq"``).  ``None`` means the solver's default scheduler.
+    warm_from / updates:
+        Incremental re-solve (``accepts_updates`` solvers): ``warm_from``
+        is the exact distance array of the same source on the graph
+        *before* the edge changes described by ``updates`` (an
+        :class:`~repro.dynamic.updates.EdgeDeltas`) were applied; the
+        solver re-seeds from the dirty frontier instead of the source
+        and produces distances bit-identical to a from-scratch solve
+        (see ``docs/dynamic.md``).  ``updates`` without ``warm_from``
+        is rejected; ``warm_from`` alone asserts the graph is unchanged.
     options:
         Extra solver-specific keyword arguments, forwarded verbatim
         (e.g. ``cpu=``/``cost=`` for the CPU cost models).
@@ -252,6 +261,8 @@ class SolveRequest:
     config: Optional[object] = None
     tracer: Optional[object] = None
     scheduler: Optional[str] = None
+    warm_from: Optional[np.ndarray] = None
+    updates: Optional[object] = None  # EdgeDeltas; loose to avoid a cycle
     options: Dict[str, object] = field(default_factory=dict)
 
 
@@ -277,6 +288,8 @@ class SolverInfo:
     accepts_config: bool = False
     #: Accepts a ``scheduler=`` WorkScheduler name (currently only ADDS).
     accepts_scheduler: bool = False
+    #: Accepts ``warm_from=``/``updates=`` incremental re-solve seeds.
+    accepts_updates: bool = False
 
     def __call__(self, graph, source: int = 0, **kwargs) -> "SSSPResult":
         """Legacy keyword-style invocation (thin shim over :attr:`fn`).
@@ -329,6 +342,16 @@ class SolverInfo:
                     f"pick one of {solver_names(accepts_scheduler=True)}"
                 )
             kwargs.setdefault("scheduler", request.scheduler)
+        if request.warm_from is not None or request.updates is not None:
+            if not self.accepts_updates:
+                raise SolverError(
+                    f"solver {self.name!r} does not take warm_from/updates; "
+                    f"pick one of {solver_names(accepts_updates=True)}"
+                )
+            if request.warm_from is not None:
+                kwargs.setdefault("warm_from", request.warm_from)
+            if request.updates is not None:
+                kwargs.setdefault("updates", request.updates)
         return self.fn(request.graph, request.source, **kwargs)
 
 
@@ -345,6 +368,7 @@ def register_solver(
     accepts_delta: bool = False,
     accepts_config: bool = False,
     accepts_scheduler: bool = False,
+    accepts_updates: bool = False,
 ) -> Callable:
     """Decorator registering a solver under its paper name.
 
@@ -364,6 +388,7 @@ def register_solver(
             accepts_delta=accepts_delta,
             accepts_config=accepts_config,
             accepts_scheduler=accepts_scheduler,
+            accepts_updates=accepts_updates,
         )
         return fn
 
@@ -396,6 +421,7 @@ def solver_names(
     accepts_delta: Optional[bool] = None,
     accepts_config: Optional[bool] = None,
     accepts_scheduler: Optional[bool] = None,
+    accepts_updates: Optional[bool] = None,
 ) -> list:
     """Sorted registered names, filtered by capability flags.
 
@@ -413,6 +439,8 @@ def solver_names(
         if accepts_config is not None and info.accepts_config != accepts_config:
             continue
         if accepts_scheduler is not None and info.accepts_scheduler != accepts_scheduler:
+            continue
+        if accepts_updates is not None and info.accepts_updates != accepts_updates:
             continue
         out.append(name)
     return sorted(out)

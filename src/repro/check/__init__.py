@@ -11,10 +11,22 @@ Two halves (see ``docs/checking.md``):
   divergence, missed wakeup or replay mismatch — the ``python -m repro
   check`` entry point.
 
+A third half (PR 8): :func:`run_update_check` fuzzes **edge-update
+streams** — after every generated batch, incremental re-solves (warm
+Dijkstra; ADDS × registered schedulers × perturbed schedules) must be
+bit-identical to a from-scratch solve (``python -m repro check
+--updates N``).
+
 Fault injection for the checker's own tests lives in
 :mod:`repro.check.testing`.
 """
 
+from repro.check.dynamic import (
+    UpdateCheckReport,
+    UpdateLane,
+    default_update_lanes,
+    run_update_check,
+)
 from repro.check.invariants import ProtocolChecker
 from repro.check.runner import (
     CHECKABLE_SOLVERS,
@@ -31,6 +43,10 @@ __all__ = [
     "CheckReport",
     "ProtocolChecker",
     "ScheduleRun",
+    "UpdateCheckReport",
+    "UpdateLane",
+    "default_update_lanes",
     "run_check",
+    "run_update_check",
     "schedule_seed",
 ]

@@ -348,6 +348,8 @@ def cmd_serve_bench(ns) -> int:
         cost=cost,
         tag=ns.tag,
         verify=not ns.no_verify,
+        updates=ns.updates,
+        update_size=ns.update_size,
         progress=progress,
     )
     if ns.out:
@@ -375,6 +377,16 @@ def cmd_serve_bench(ns) -> int:
         )
         hist = ", ".join(f"{k}x{v}" for k, v in res["batch_size_hist"].items())
         print(f"batch sizes: {hist}")
+        upd = payload.get("updates")
+        if upd:
+            print(
+                f"updates: {upd['batches']} batches × {upd['update_size']} "
+                f"edges; incremental {upd['incremental_wall_s']:.2f}s vs "
+                f"full {upd['full_wall_s']:.2f}s "
+                f"(speedup {upd['speedup']:.2f}x, "
+                f"{upd['incremental_solves']:.0f} warm solves, "
+                f"{upd['pass_mismatches']} pass mismatches)"
+            )
         if payload["verify"]["enabled"]:
             n_bad = len(payload["verify"]["mismatches"])
             print(
@@ -382,6 +394,8 @@ def cmd_serve_bench(ns) -> int:
                 f"re-checked directly, {n_bad} mismatches"
             )
     if payload["verify"]["enabled"] and payload["verify"]["mismatches"]:
+        return 1
+    if payload.get("updates") and payload["updates"]["pass_mismatches"]:
         return 1
     return 0
 
@@ -400,6 +414,30 @@ def cmd_check(ns) -> int:
                 source=ns.source,
             )
         ]
+    if ns.updates:
+        from repro.check import run_update_check
+
+        progress = (
+            (lambda msg: print(f"  {msg}", file=sys.stderr))
+            if ns.verbose else None
+        )
+        report = run_update_check(
+            ns.matrix,
+            batches=ns.updates,
+            batch_size=ns.update_size,
+            schedules=ns.schedules,
+            seed=ns.seed,
+            entries=entries,
+            spec=spec,
+            cost=cost,
+            progress=progress,
+        )
+        if ns.json:
+            print(json.dumps(report.to_json_dict(), indent=2))
+        else:
+            for line in report.summary_lines():
+                print(line)
+        return 0 if report.ok else 1
     checker_factory = None
     if ns.inject:
         from repro.check.testing import FaultyChecker
@@ -636,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-verify", action="store_true",
                     help="skip the bit-exact re-solve of every served "
                          "(graph, source)")
+    sv.add_argument("--updates", type=int, default=0, metavar="N",
+                    help="interleave N edge-update batches per graph and "
+                         "replay twice (incremental vs full re-solve); "
+                         "0 = static replay (default)")
+    sv.add_argument("--update-size", type=int, default=8, metavar="K",
+                    help="edge updates per batch (default 8)")
     sv.add_argument("--verbose", "-v", action="store_true")
     sv.add_argument("--json", action="store_true",
                     help="print the payload as JSON")
@@ -664,6 +708,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="load --graph weights as float")
     ck.add_argument("--no-replay", action="store_true",
                     help="skip the unchecked per-seed replay pass")
+    ck.add_argument("--updates", type=int, default=0, metavar="N",
+                    help="fuzz N-batch edge-update streams instead: "
+                         "incremental re-solves (warm dijkstra + adds × "
+                         "schedulers × --schedules perturbed seeds) must "
+                         "be bit-identical to from-scratch solves")
+    ck.add_argument("--update-size", type=int, default=8, metavar="K",
+                    help="edge updates per batch with --updates (default 8)")
     ck.add_argument("--inject", choices=sorted(FAULTS),
                     help="TESTING: inject a protocol fault and expect "
                          "the checker to catch it")

@@ -102,6 +102,7 @@ def _pool_blocks_for(graph: CSRGraph, config: AddsConfig) -> int:
     accepts_delta=True,
     accepts_config=True,
     accepts_scheduler=True,
+    accepts_updates=True,
 )
 def solve_adds(
     graph: CSRGraph,
@@ -116,6 +117,8 @@ def solve_adds(
     checker: Optional[object] = None,
     perturb_seed: Optional[int] = None,
     scheduler: Optional[str] = None,
+    warm_from: Optional[np.ndarray] = None,
+    updates: Optional[object] = None,
 ) -> SSSPResult:
     """Run ADDS on the (simulated) GPU.
 
@@ -155,11 +158,25 @@ def solve_adds(
         (``"bucket"``, the paper's queue and the default, or
         ``"mlmq"``).  Final distances are scheduler-invariant — only
         the work schedule, and hence work/time, differ.
+    warm_from / updates:
+        Incremental re-solve (ROADMAP item 2): ``warm_from`` is the
+        exact distance array of the same source on the graph *before*
+        the edge changes in ``updates`` (an
+        :class:`~repro.dynamic.updates.EdgeDeltas`) were applied to it.
+        The solver invalidates stale distances, seeds the scheduler
+        from the **dirty frontier** (violated-edge tails at their warm
+        distances) instead of the source, and converges — by the same
+        label-correction property that makes schedules and schedulers
+        interchangeable — to distances bit-identical to a from-scratch
+        solve.  Works with any registered scheduler.  The predecessor
+        tree is rebuilt only for re-relaxed vertices (``-1`` elsewhere).
     """
     spec, cost = resolve_device(spec, cost)
     config = config or AddsConfig()
     if graph.num_vertices == 0:
         raise SolverError("cannot run SSSP on an empty graph")
+    if updates is not None and warm_from is None:
+        raise SolverError("updates= requires warm_from= distances")
 
     initial_delta = (
         delta
@@ -220,13 +237,25 @@ def solve_adds(
     else:
         col64, w64, adj = prep.col64, prep.w64, prep.adj
 
+    # Incremental mode: start from the warm distances and seed the
+    # scheduler from the dirty frontier instead of the source.
+    seed_info = None
+    if warm_from is not None:
+        from repro.dynamic.frontier import incremental_seed
+
+        dist0, frontier, frontier_dists, seed_info = incremental_seed(
+            graph, warm_from, updates, source, sources
+        )
+    else:
+        dist0 = init_distances(graph.num_vertices, source, sources)
+
     state = AddsState(
         graph=graph,
         device=device,
         queue=queue,
         config=config,
         controller=controller,
-        dist=init_distances(graph.num_vertices, source, sources),
+        dist=dist0,
         pred=init_tree(graph.num_vertices),
         float_weights=not graph.is_integer_weighted,
         af_state=np.full(n_wtbs, AF_IDLE, dtype=np.int64),
@@ -246,13 +275,34 @@ def solve_adds(
         # attach before seeding so the host-side seed reserve/publish is
         # accounted like any other writer's
         checker.attach(device=device, queue=queue, state=state)
-    seed = resolve_sources(graph.num_vertices, source, sources)
-    seed_slot = queue.seed_slot()
-    queue.ensure_capacity(
-        seed_slot, config.segment_size * (1 + seed.size // config.segment_size)
-    )
-    start = queue.reserve(seed_slot, int(seed.size))
-    queue.publish(seed_slot, start, seed, np.zeros(seed.size))
+    if warm_from is None:
+        seed = resolve_sources(graph.num_vertices, source, sources)
+        seed_slot = queue.seed_slot()
+        queue.ensure_capacity(
+            seed_slot, config.segment_size * (1 + seed.size // config.segment_size)
+        )
+        start = queue.reserve(seed_slot, int(seed.size))
+        queue.publish(seed_slot, start, seed, np.zeros(seed.size))
+    elif frontier.size:
+        # Warm start: seed the scheduler from the dirty frontier at its
+        # warm distances.  base_dist is purely relative, so anchoring it
+        # at the nearest frontier vertex avoids spinning through empty
+        # bands; push_slots_list maps each item to its physical slot
+        # under whichever policy (bucket / mlmq) is installed.
+        queue.base_dist = float(frontier_dists.min())
+        slots = np.asarray(
+            queue.push_slots_list(frontier, frontier_dists), dtype=np.int64
+        )
+        for slot in np.unique(slots):
+            mask = slots == slot
+            verts = frontier[mask]
+            queue.ensure_capacity(
+                int(slot),
+                config.segment_size * (1 + verts.size // config.segment_size),
+            )
+            start = queue.reserve(int(slot), int(verts.size))
+            queue.publish(int(slot), start, verts, frontier_dists[mask])
+    # (empty frontier: nothing to relax — the MTB terminates on its own)
 
     device.add_block("MTB", mtb_program(state))
     for w in range(n_wtbs):
@@ -301,6 +351,16 @@ def solve_adds(
     if perturb_seed is not None:
         # only on perturbed runs, so canonical stats stay bit-identical
         metrics.update({"perturb_seed": perturb_seed})
+    if seed_info is not None:
+        # only on warm runs, so canonical stats stay bit-identical
+        metrics.update(
+            {
+                "warm_start": True,
+                "warm_roots": seed_info["roots"],
+                "warm_invalidated": seed_info["invalidated"],
+                "warm_frontier": seed_info["frontier"],
+            }
+        )
 
     return SSSPResult(
         solver="adds",

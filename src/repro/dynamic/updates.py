@@ -1,0 +1,393 @@
+"""The edge-update stream model: batches of weight/topology changes.
+
+Real serving traffic against road and social graphs is dominated by
+small edge updates — a road closes, a congestion weight rises, a link
+appears.  ROADMAP item 2 ("dynamic graphs and incremental SSSP") models
+that traffic as a stream of :class:`UpdateBatch`\\ es, each a short
+ordered list of :class:`EdgeUpdate`\\ s of four kinds:
+
+``increase`` / ``decrease``
+    Change the weight of an existing edge (strictly up / strictly down;
+    the split kinds make intent explicit and let validation catch
+    generator and caller bugs early).
+``insert`` / ``delete``
+    Add a new edge / remove an existing one — **topology** changes,
+    which force a CSR rebuild (CSR has no spare room in a row).
+
+:func:`apply_updates` applies one batch to a :class:`~repro.graphs.csr.
+CSRGraph`:
+
+- a weight-only batch **patches in place**: ``graph.weights`` and, when
+  the graph was prepared (:meth:`~repro.graphs.csr.CSRGraph.prepare`),
+  the float64 twin ``w64`` — the adjacency cache's weight slices are
+  views into ``w64``, so they update for free.  The weight statistics
+  (``avg_weight``/``max_weight``) feeding the Δ heuristic are dropped
+  from the stats cache.  The same graph object is returned.
+- a batch containing any ``insert``/``delete`` **rebuilds** the CSR
+  arrays and returns a *new* (unprepared) graph; the stale
+  ``PreparedArrays`` die with the old object.
+
+Either way the result carries an :class:`EdgeDeltas` record — the net
+per-edge ``(old weight, new weight)`` deltas versus the pre-batch graph
+— which is exactly what the incremental re-solve path
+(:mod:`repro.dynamic.frontier`) needs to invalidate and re-seed.
+Updates within a batch apply **sequentially** (a later update sees the
+effect of an earlier one), so an increase followed by a decrease back to
+the original weight nets out to an empty delta set — the idempotent
+case the dirty-frontier rule turns into a zero-work re-solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DynamicError
+from repro.graphs.csr import CSRGraph, from_edge_list
+
+__all__ = [
+    "UPDATE_KINDS",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "EdgeDeltas",
+    "UpdateResult",
+    "apply_updates",
+]
+
+#: The four update kinds, in the order the docs present them.
+UPDATE_KINDS = ("increase", "decrease", "insert", "delete")
+
+_WEIGHT_KINDS = ("increase", "decrease", "insert")
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge change.  ``weight`` is the *new* weight for
+    ``increase``/``decrease``/``insert`` and must be ``None`` for
+    ``delete``."""
+
+    kind: str
+    src: int
+    dst: int
+    weight: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in UPDATE_KINDS:
+            raise DynamicError(
+                f"unknown update kind {self.kind!r}; one of {UPDATE_KINDS}"
+            )
+        if self.kind in _WEIGHT_KINDS:
+            if self.weight is None:
+                raise DynamicError(f"{self.kind} update needs a weight")
+            if not np.isfinite(self.weight) or self.weight < 0:
+                raise DynamicError(
+                    f"{self.kind} weight must be finite and non-negative "
+                    f"(got {self.weight!r})"
+                )
+        elif self.weight is not None:
+            raise DynamicError("delete update takes no weight")
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An ordered batch of edge updates, applied atomically to a graph.
+
+    Batches are the unit of application, invalidation, and incremental
+    re-solve: queries observe the graph either before or after a batch,
+    never mid-batch.
+    """
+
+    updates: Tuple[EdgeUpdate, ...]
+
+    def __init__(self, updates: Iterable[EdgeUpdate]) -> None:
+        object.__setattr__(self, "updates", tuple(updates))
+        for u in self.updates:
+            if not isinstance(u, EdgeUpdate):
+                raise DynamicError(f"not an EdgeUpdate: {u!r}")
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    @property
+    def topology_changing(self) -> bool:
+        """Whether applying this batch requires a CSR rebuild."""
+        return any(u.kind in ("insert", "delete") for u in self.updates)
+
+    def kind_counts(self) -> Dict[str, int]:
+        out = {k: 0 for k in UPDATE_KINDS}
+        for u in self.updates:
+            out[u.kind] += 1
+        return out
+
+
+@dataclass(frozen=True)
+class EdgeDeltas:
+    """Net per-edge weight deltas of one or more applied batches.
+
+    Parallel arrays: edge ``(src[i], dst[i])`` had weight ``old_w[i]``
+    before the batch (``nan`` = the edge did not exist) and ``new_w[i]``
+    after it (``nan`` = the edge was deleted).  Edges whose net change
+    is zero are not recorded.  This is the currency the dirty-frontier
+    computation and the cache-invalidation test consume.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    old_w: np.ndarray
+    new_w: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.src.size)
+
+    @staticmethod
+    def empty() -> "EdgeDeltas":
+        e = np.empty(0, dtype=np.int64)
+        f = np.empty(0, dtype=np.float64)
+        return EdgeDeltas(src=e, dst=e.copy(), old_w=f, new_w=f.copy())
+
+    @staticmethod
+    def from_map(
+        deltas: Dict[Tuple[int, int], Tuple[float, float]]
+    ) -> "EdgeDeltas":
+        """Build from ``(u, v) -> (old, new)`` (``nan`` = absent),
+        dropping net no-ops and sorting by ``(u, v)`` for determinism."""
+        items = [
+            (u, v, o, w)
+            for (u, v), (o, w) in sorted(deltas.items())
+            if not (np.isnan(o) and np.isnan(w)) and o != w
+        ]
+        if not items:
+            return EdgeDeltas.empty()
+        arr = np.asarray(items, dtype=np.float64)
+        return EdgeDeltas(
+            src=arr[:, 0].astype(np.int64),
+            dst=arr[:, 1].astype(np.int64),
+            old_w=arr[:, 2].copy(),
+            new_w=arr[:, 3].copy(),
+        )
+
+    def merge(self, later: "EdgeDeltas") -> "EdgeDeltas":
+        """Compose with deltas applied *after* these (``self`` then
+        ``later``): keeps each edge's earliest old weight and latest new
+        weight, so a warm distance array from before ``self`` can still
+        be re-seeded correctly after both."""
+        merged: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for i in range(self.size):
+            key = (int(self.src[i]), int(self.dst[i]))
+            merged[key] = (float(self.old_w[i]), float(self.new_w[i]))
+        for i in range(later.size):
+            key = (int(later.src[i]), int(later.dst[i]))
+            if key in merged:
+                merged[key] = (merged[key][0], float(later.new_w[i]))
+            else:
+                merged[key] = (float(later.old_w[i]), float(later.new_w[i]))
+        return EdgeDeltas.from_map(merged)
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What :func:`apply_updates` returns."""
+
+    #: The post-batch graph: the *same* object for weight-only batches
+    #: (patched in place), a fresh unprepared one after a CSR rebuild.
+    graph: CSRGraph
+    #: Net per-edge deltas versus the pre-batch graph.
+    deltas: EdgeDeltas
+    #: Whether the CSR was rebuilt (insert/delete present).
+    topology_changed: bool
+    #: How many updates the batch carried.
+    n_updates: int = 0
+
+
+def _find_edge(graph: CSRGraph, u: int, v: int) -> int:
+    """Position of edge ``(u, v)`` in the CSR arrays, or -1.  Parallel
+    edges resolve to the first occurrence (updates address that copy)."""
+    lo, hi = int(graph.row_offsets[u]), int(graph.row_offsets[u + 1])
+    hits = np.flatnonzero(graph.col_indices[lo:hi] == v)
+    return lo + int(hits[0]) if hits.size else -1
+
+
+def _check_vertex(n: int, u: EdgeUpdate) -> None:
+    if not (0 <= u.src < n and 0 <= u.dst < n):
+        raise DynamicError(
+            f"{u.kind} ({u.src}->{u.dst}) out of range for {n} vertices"
+        )
+
+
+def _coerce_weight(graph: CSRGraph, u: EdgeUpdate) -> float:
+    w = float(u.weight)
+    if graph.is_integer_weighted and not w.is_integer():
+        raise DynamicError(
+            f"{u.kind} ({u.src}->{u.dst}): weight {w!r} is not integral "
+            f"but {graph.name!r} has int32 weights"
+        )
+    return w
+
+
+def _apply_weight_only(graph: CSRGraph, batch: UpdateBatch) -> UpdateResult:
+    # Two passes so a bad update rejects the whole batch before any
+    # mutation: first validate sequentially against an overlay of
+    # pending values, then patch the arrays.
+    deltas: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    pending: Dict[int, float] = {}  # CSR position -> new weight
+    for u in batch:
+        _check_vertex(graph.num_vertices, u)
+        pos = _find_edge(graph, u.src, u.dst)
+        if pos < 0:
+            raise DynamicError(
+                f"{u.kind} ({u.src}->{u.dst}): no such edge in {graph.name!r}"
+            )
+        old = pending.get(pos, float(graph.weights[pos]))
+        new = _coerce_weight(graph, u)
+        if u.kind == "increase" and not new > old:
+            raise DynamicError(
+                f"increase ({u.src}->{u.dst}): new weight {new!r} is not "
+                f"above the current {old!r}"
+            )
+        if u.kind == "decrease" and not new < old:
+            raise DynamicError(
+                f"decrease ({u.src}->{u.dst}): new weight {new!r} is not "
+                f"below the current {old!r}"
+            )
+        pending[pos] = new
+        key = (u.src, u.dst)
+        first_old = deltas[key][0] if key in deltas else old
+        deltas[key] = (first_old, new)
+
+    prep = graph.prepared()
+    for pos, new in pending.items():
+        graph.weights[pos] = new
+        if prep is not None:
+            prep.w64[pos] = new
+    # weight statistics feeding the Δ heuristic are stale now
+    graph._stats_cache.pop("avg_weight", None)
+    graph._stats_cache.pop("max_weight", None)
+    return UpdateResult(
+        graph=graph,
+        deltas=EdgeDeltas.from_map(deltas),
+        topology_changed=False,
+        n_updates=len(batch),
+    )
+
+
+def _apply_rebuild(graph: CSRGraph, batch: UpdateBatch) -> UpdateResult:
+    n = graph.num_vertices
+    esrc = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.row_offsets)
+    )
+    edst = graph.col_indices.astype(np.int64)
+    ew = graph.weights.astype(np.float64)
+    alive = np.ones(edst.size, dtype=bool)
+    extra: List[List[float]] = []  # [src, dst, weight, alive]
+
+    def find(u: int, v: int) -> Tuple[int, int]:
+        """(where, index): where 0 = base arrays, 1 = extra, -1 = absent."""
+        pos = _find_edge(graph, u, v)
+        if pos >= 0 and alive[pos]:
+            return 0, pos
+        for i, e in enumerate(extra):
+            if e[3] and int(e[0]) == u and int(e[1]) == v:
+                return 1, i
+        return -1, -1
+
+    deltas: Dict[Tuple[int, int], Tuple[float, float]] = {}
+
+    def record(u: int, v: int, old: float, new: float) -> None:
+        key = (u, v)
+        first_old = deltas[key][0] if key in deltas else old
+        deltas[key] = (first_old, new)
+
+    for u in batch:
+        _check_vertex(n, u)
+        where, idx = find(u.src, u.dst)
+        if u.kind == "insert":
+            if where >= 0:
+                raise DynamicError(
+                    f"insert ({u.src}->{u.dst}): edge already exists in "
+                    f"{graph.name!r}; use increase/decrease"
+                )
+            new = _coerce_weight(graph, u)
+            extra.append([float(u.src), float(u.dst), new, 1.0])
+            record(u.src, u.dst, np.nan, new)
+            continue
+        if where < 0:
+            raise DynamicError(
+                f"{u.kind} ({u.src}->{u.dst}): no such edge in {graph.name!r}"
+            )
+        old = float(ew[idx]) if where == 0 else float(extra[idx][2])
+        if u.kind == "delete":
+            if where == 0:
+                alive[idx] = False
+            else:
+                extra[idx][3] = 0.0
+            record(u.src, u.dst, old, np.nan)
+            continue
+        new = _coerce_weight(graph, u)
+        if u.kind == "increase" and not new > old:
+            raise DynamicError(
+                f"increase ({u.src}->{u.dst}): new weight {new!r} is not "
+                f"above the current {old!r}"
+            )
+        if u.kind == "decrease" and not new < old:
+            raise DynamicError(
+                f"decrease ({u.src}->{u.dst}): new weight {new!r} is not "
+                f"below the current {old!r}"
+            )
+        if where == 0:
+            ew[idx] = new
+        else:
+            extra[idx][2] = new
+        record(u.src, u.dst, old, new)
+
+    kept = np.stack([esrc[alive], edst[alive], ew[alive]], axis=1)
+    added = [
+        [e[0], e[1], e[2]] for e in extra if e[3]
+    ]
+    edges = np.concatenate(
+        [kept, np.asarray(added, dtype=np.float64).reshape(-1, 3)], axis=0
+    )
+    rebuilt = from_edge_list(
+        n,
+        edges,
+        dtype=str(graph.weights.dtype),
+        name=graph.name,
+    )
+    return UpdateResult(
+        graph=rebuilt,
+        deltas=EdgeDeltas.from_map(deltas),
+        topology_changed=True,
+        n_updates=len(batch),
+    )
+
+
+def apply_updates(
+    graph: CSRGraph, batch: UpdateBatch | Sequence[EdgeUpdate]
+) -> UpdateResult:
+    """Apply one update batch to ``graph``; see the module docstring.
+
+    Weight-only batches mutate ``graph`` (weights plus its prepared
+    float64 twin) and return the same object; batches with inserts or
+    deletes return a rebuilt, unprepared :class:`CSRGraph`.  Updates
+    apply sequentially; an invalid one (missing edge, wrong direction,
+    out-of-range vertex, duplicate insert) raises
+    :class:`~repro.errors.DynamicError` and rejects the whole batch —
+    the input graph is never left half-patched.
+    """
+    if not isinstance(batch, UpdateBatch):
+        batch = UpdateBatch(batch)
+    if len(batch) == 0:
+        return UpdateResult(
+            graph=graph,
+            deltas=EdgeDeltas.empty(),
+            topology_changed=False,
+            n_updates=0,
+        )
+    if batch.topology_changing:
+        return _apply_rebuild(graph, batch)
+    return _apply_weight_only(graph, batch)

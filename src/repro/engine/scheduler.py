@@ -150,6 +150,10 @@ class Cell:
     cache_dir: Optional[str] = None
     #: WorkScheduler name for ``accepts_scheduler`` solvers (None = default).
     scheduler: Optional[str] = None
+    #: Warm start for ``accepts_updates`` solvers (see :mod:`repro.dynamic`):
+    #: prior distance array + net EdgeDeltas since it was computed.
+    warm_from: Optional[object] = field(default=None, repr=False)
+    updates: Optional[object] = field(default=None, repr=False)
 
     @property
     def key(self) -> Tuple[str, str]:

@@ -134,6 +134,8 @@ def execute_cell(cell) -> Tuple[str, object, float, Tuple[float, float]]:
             spec=cell.spec,
             cost=cell.cost,
             scheduler=getattr(cell, "scheduler", None),
+            warm_from=getattr(cell, "warm_from", None),
+            updates=getattr(cell, "updates", None),
             options=dict(cell.options),
         )
         with cell_alarm(cell.timeout_s):

@@ -64,6 +64,13 @@ class EngineError(ReproError):
     (result store, graph cache) is corrupt."""
 
 
+class DynamicError(ReproError):
+    """An edge-update stream (:mod:`repro.dynamic`) was malformed or
+    inconsistent with the graph it targets: unknown edge, wrong-direction
+    weight change, duplicate insert, out-of-range vertex, or a warm
+    distance array that cannot seed an incremental re-solve."""
+
+
 class ServeError(ReproError):
     """The serving layer (:mod:`repro.serve`) was misused or a served
     query failed inside the solver it was dispatched to."""

@@ -25,6 +25,7 @@ from repro.graphs.generators import (
     random_geometric,
     random_gnm,
     rmat,
+    update_stream,
 )
 from repro.graphs.gr_format import read_gr, write_gr
 from repro.graphs.metrics import GraphStats, compute_stats, pseudo_diameter, reachable_fraction
@@ -39,6 +40,7 @@ __all__ = [
     "random_geometric",
     "fem_mesh",
     "clique_chain",
+    "update_stream",
     "read_gr",
     "write_gr",
     "GraphStats",

@@ -197,6 +197,23 @@ class CSRGraph:
         """The cached :class:`PreparedArrays`, or None if never prepared."""
         return self._stats_cache.get("prepared")
 
+    # -- dynamic updates ------------------------------------------------------
+
+    def apply_updates(self, batch):
+        """Apply one :class:`~repro.dynamic.updates.UpdateBatch`.
+
+        Weight-only batches patch ``weights`` (and the prepared float64
+        twin, whose adjacency-cache views update for free) **in place**
+        and drop the cached weight statistics; batches with inserts or
+        deletes rebuild the CSR and return a fresh, unprepared graph.
+        Returns an :class:`~repro.dynamic.updates.UpdateResult` carrying
+        the post-batch graph and the net per-edge deltas the incremental
+        re-solve path consumes.  See ``docs/dynamic.md``.
+        """
+        from repro.dynamic.updates import apply_updates
+
+        return apply_updates(self, batch)
+
     # -- transforms -----------------------------------------------------------
 
     def reversed(self) -> "CSRGraph":

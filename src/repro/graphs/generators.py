@@ -38,6 +38,7 @@ __all__ = [
     "random_geometric",
     "fem_mesh",
     "clique_chain",
+    "update_stream",
 ]
 
 
@@ -363,3 +364,96 @@ def clique_chain(
         np.stack([src, dst, w], axis=1),
         name=name or f"cliques-{num_cliques}x{clique_size}",
     )
+
+
+def update_stream(
+    graph: CSRGraph,
+    *,
+    batches: int = 4,
+    batch_size: int = 8,
+    seed: int = 0,
+    p_insert: float = 0.1,
+    p_delete: float = 0.1,
+    max_weight: Optional[int] = None,
+    name: Optional[str] = None,
+):
+    """A deterministic stream of edge-update batches for ``graph``.
+
+    The time-varying analogue of the graph generators above: given a
+    (typically suite-generated) graph, produce ``batches`` sequential
+    :class:`~repro.dynamic.updates.UpdateBatch` objects — mostly weight
+    increases/decreases (the congestion model), with ``p_insert`` /
+    ``p_delete`` fractions of topology changes — that are valid when
+    applied **in order** starting from ``graph``.  The caller's graph is
+    never touched: the generator tracks the evolving state on a private
+    copy.  Weights stay integral for int32 graphs and within
+    ``[1, max_weight]`` (default: the graph's current max weight).
+
+    Deterministic given ``seed``; ``name`` only labels error messages.
+    """
+    # late import: repro.dynamic depends on repro.graphs.csr, so the
+    # package-level import here would be cyclic
+    from repro.dynamic.updates import EdgeUpdate, UpdateBatch, apply_updates
+
+    if batches < 0 or batch_size < 1:
+        raise GraphConstructionError(
+            "need batches >= 0 and batch_size >= 1 for an update stream"
+        )
+    if not 0.0 <= p_insert + p_delete <= 1.0:
+        raise GraphConstructionError(
+            "p_insert + p_delete must lie in [0, 1]"
+        )
+    rng = np.random.default_rng(seed)
+    mw = int(max_weight) if max_weight is not None else max(2, int(graph.max_weight()))
+    # private evolving copy (weight-only batches patch arrays in place)
+    state = CSRGraph(
+        row_offsets=graph.row_offsets.copy(),
+        col_indices=graph.col_indices.copy(),
+        weights=graph.weights.copy(),
+        name=name or f"{graph.name}-stream",
+    )
+
+    def has_edge(g: CSRGraph, u: int, v: int) -> bool:
+        lo, hi = int(g.row_offsets[u]), int(g.row_offsets[u + 1])
+        return bool(np.any(g.col_indices[lo:hi] == v))
+
+    def edge_at(g: CSRGraph, pos: int):
+        u = int(np.searchsorted(g.row_offsets, pos, side="right")) - 1
+        return u, int(g.col_indices[pos]), float(g.weights[pos])
+
+    out = []
+    for _ in range(batches):
+        used = set()
+        updates = []
+        attempts = 0
+        while len(updates) < batch_size and attempts < batch_size * 20:
+            attempts += 1
+            n, m = state.num_vertices, state.num_edges
+            r = float(rng.random())
+            if r < p_insert or m == 0:
+                u = int(rng.integers(n))
+                v = int(rng.integers(n))
+                if u == v or (u, v) in used or has_edge(state, u, v):
+                    continue
+                w = int(rng.integers(1, mw + 1))
+                updates.append(EdgeUpdate("insert", u, v, w))
+            elif r < p_insert + p_delete:
+                u, v, _w = edge_at(state, int(rng.integers(m)))
+                if (u, v) in used:
+                    continue
+                updates.append(EdgeUpdate("delete", u, v))
+            else:
+                u, v, w = edge_at(state, int(rng.integers(m)))
+                if (u, v) in used:
+                    continue
+                if w > 1 and rng.random() < 0.5:
+                    new = int(rng.integers(1, int(w)))  # strict decrease
+                    updates.append(EdgeUpdate("decrease", u, v, new))
+                else:
+                    new = int(w) + int(rng.integers(1, mw + 1))
+                    updates.append(EdgeUpdate("increase", u, v, new))
+            used.add((updates[-1].src, updates[-1].dst))
+        batch = UpdateBatch(updates)
+        state = apply_updates(state, batch).graph
+        out.append(batch)
+    return out

@@ -22,6 +22,15 @@ build, straight solver call, no session, no cache — and compared
 bit-for-bit against the served full distance array.  Zero tolerated
 mismatches: this is the acceptance gate that serving infrastructure
 never changes an answer.
+
+``--updates`` adds a dynamic-graph dimension (see ``docs/dynamic.md``):
+edge-update batches are interleaved through the replay via
+:meth:`Session.apply_updates`, the whole mix is replayed twice (warm
+incremental re-solves vs forced from-scratch re-solves), the two passes
+must answer bit-identically, and direct verification runs per *(graph,
+generation, source)* against an independently rebuilt copy of each
+generation.  The payload's ``updates`` block reports the
+incremental-vs-full wall ratio.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ import numpy as np
 
 from repro.baselines.common import SolveRequest, get_solver_info
 from repro.errors import ServeError
+from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import SuiteEntry, build_suite
 from repro.serve.session import Session
 
@@ -134,6 +144,8 @@ def run_serve_bench(
     cost=None,
     tag: Optional[str] = None,
     verify: bool = True,
+    updates: int = 0,
+    update_size: int = 8,
     progress: Optional[Callable[[str], None]] = None,
 ) -> dict:
     """Replay a synthetic trace through a :class:`Session`; return the
@@ -146,6 +158,18 @@ def run_serve_bench(
     window an asynchronous session would use (``window_s`` is recorded
     in the payload but the replay never sleeps).
 
+    ``updates > 0`` turns the replay into a sustained **update + query
+    mix**: per graph, ``updates`` edge-update batches of ``update_size``
+    updates (seeded from ``seed``) are applied through
+    :meth:`Session.apply_updates` at evenly spaced points of the trace.
+    The same trace and update schedule then run **twice** — once with
+    incremental (warm) re-solves, once forcing from-scratch re-solves —
+    and the payload's ``updates`` block reports both walls and their
+    ratio (the incremental-vs-full speedup), after checking the two
+    passes answered every query bit-identically.  Direct verification
+    re-solves each distinct ``(graph, generation, source)`` on an
+    independently rebuilt copy of that generation's graph.
+
     A verification mismatch is reported in the payload, not raised — the
     CLI turns a nonzero mismatch count into a nonzero exit.
     """
@@ -153,6 +177,10 @@ def run_serve_bench(
         raise ServeError(f"queries must be >= 1 (got {queries})")
     if burst < 1:
         raise ServeError(f"burst must be >= 1 (got {burst})")
+    if updates < 0:
+        raise ServeError(f"updates must be >= 0 (got {updates})")
+    if update_size < 1:
+        raise ServeError(f"update_size must be >= 1 (got {update_size})")
     get_solver_info(solver)  # fail fast on typos
     say = progress or (lambda msg: None)
 
@@ -161,22 +189,41 @@ def run_serve_bench(
         raise ServeError("suite selection produced no graphs")
     by_id: Dict[str, SuiteEntry] = {e.name: e for e in entries}
 
-    session = Session(
-        solver=solver,
-        scheduler=scheduler,
-        window_s=window_s,
-        max_batch=max_batch,
-        max_pending=max(burst * 2, 64),
-        cache_entries=cache_entries,
-        jobs=jobs,
-        spec=spec,
-        cost=cost,
-        autostart=False,
-    )
+    def _make_session(incremental: bool = True) -> Session:
+        session = Session(
+            solver=solver,
+            scheduler=scheduler,
+            window_s=window_s,
+            max_batch=max_batch,
+            max_pending=max(burst * 2, 64),
+            cache_entries=cache_entries,
+            jobs=jobs,
+            spec=spec,
+            cost=cost,
+            autostart=False,
+            incremental=incremental,
+        )
+        for e in entries:
+            # each session gets an independent build: SuiteEntry.graph()
+            # memoizes, and apply_updates patches weights in place, so a
+            # shared object would leak pass-1 updates into pass 2
+            g = _fresh_graph(e)
+            session.add_graph(
+                e.name,
+                CSRGraph(
+                    row_offsets=g.row_offsets,
+                    col_indices=g.col_indices,
+                    weights=g.weights,
+                    name=e.name,
+                ),
+            )
+        return session
+
+    session = _make_session()
     graphs_meta = []
     sizes: Dict[str, int] = {}
     for e in entries:
-        g = session.add_graph(e.name, e.graph())
+        g = session.graph(e.name)
         sizes[e.name] = g.num_vertices
         graphs_meta.append(
             {
@@ -189,19 +236,83 @@ def run_serve_bench(
     say(f"loaded {len(entries)} graphs (scale {scale:g})")
 
     trace = synthesize_trace(sizes, queries, seed=seed)
-    say(f"replaying {len(trace)} queries in bursts of {burst}")
 
-    results = []
-    t0 = time.monotonic()
-    with session:
-        pending = []
+    # update schedule: (trace index -> [(graph id, batch)]), batches
+    # generated per graph from its pristine build so they chain in order
+    events: Dict[int, List[Tuple[str, object]]] = {}
+    streams: Dict[str, list] = {}
+    if updates:
+        from repro.graphs.generators import update_stream
+
+        ids = sorted(sizes)
+        for j, gid in enumerate(ids):
+            streams[gid] = update_stream(
+                _fresh_graph(by_id[gid]),
+                batches=updates,
+                batch_size=update_size,
+                seed=seed * 7919 + j,
+            )
+        total = updates * len(ids)
+        for k in range(total):
+            pos = min(len(trace) - 1, (k + 1) * len(trace) // (total + 1))
+            gid = ids[k % len(ids)]
+            events.setdefault(pos, []).append(
+                (gid, streams[gid][k // len(ids)])
+            )
+    say(
+        f"replaying {len(trace)} queries in bursts of {burst}"
+        + (f" with {updates * len(sizes)} update batches" if updates else "")
+    )
+
+    def _replay(sess: Session):
+        """One full pass; returns (results, generation-at-answer, wall)."""
+        applied: Dict[str, int] = {gid: 0 for gid in sizes}
+        results = []
+        gens: List[int] = []
+        t0 = time.monotonic()
+        pending: List[Tuple[object, str]] = []
+
+        def drain():
+            sess.serve_pending()
+            for f, gid in pending:
+                results.append(f.result())
+                gens.append(applied[gid])
+            pending.clear()
+
         for i, (gid, source, targets) in enumerate(trace):
-            pending.append(session.submit(gid, source, targets))
+            pending.append((sess.submit(gid, source, targets), gid))
             if len(pending) >= burst or i == len(trace) - 1:
-                session.serve_pending()
-                results.extend(f.result() for f in pending)
-                pending.clear()
-        wall_s = time.monotonic() - t0
+                drain()
+            if i in events:
+                drain()  # answers before the update keep their generation
+                for egid, batch in events[i]:
+                    sess.apply_updates(egid, batch)
+                    applied[egid] += 1
+        drain()
+        return results, gens, time.monotonic() - t0
+
+    updates_block: Optional[dict] = None
+    with session:
+        results, gens, wall_s = _replay(session)
+
+        if updates:
+            say("re-replaying with incremental re-solves disabled")
+            with _make_session(incremental=False) as full_session:
+                full_results, _full_gens, full_wall_s = _replay(full_session)
+            pass_mismatches = sum(
+                1
+                for a, b in zip(results, full_results)
+                if not np.array_equal(a.dist, b.dist)
+            )
+            updates_block = {
+                "batches": updates * len(sizes),
+                "update_size": update_size,
+                "incremental_wall_s": wall_s,
+                "full_wall_s": full_wall_s,
+                "speedup": (full_wall_s / wall_s) if wall_s > 0 else 0.0,
+                "incremental_solves": session.counters()["serve_incremental"],
+                "pass_mismatches": int(pass_mismatches),
+            }
 
         latencies = [r.latency_s for r in results]
         hist = TallyCounter(session.batch_sizes)
@@ -210,18 +321,37 @@ def run_serve_bench(
 
         verify_block: dict = {"enabled": bool(verify), "checked": 0, "mismatches": []}
         if verify:
-            served: Dict[Tuple[str, int], np.ndarray] = {}
-            for r in results:
-                served.setdefault((r.graph_id, r.source), r.dist)
-            say(f"verifying {len(served)} distinct (graph, source) solves directly")
+            served: Dict[Tuple[str, int, int], np.ndarray] = {}
+            for r, gen in zip(results, gens):
+                served.setdefault((r.graph_id, gen, r.source), r.dist)
+            say(
+                f"verifying {len(served)} distinct (graph, generation, "
+                f"source) solves directly"
+            )
             info = get_solver_info(solver)
-            fresh = {gid: _fresh_graph(by_id[gid]) for gid in sorted(sizes)}
+            fresh: Dict[Tuple[str, int], object] = {}
+            for gid in sorted(sizes):
+                g = _fresh_graph(by_id[gid])
+                fresh[(gid, 0)] = g
+                for gen in range(1, len(streams.get(gid, ())) + 1):
+                    from repro.dynamic import apply_updates as _apply
+
+                    prev = fresh[(gid, gen - 1)]
+                    # weight-only batches patch in place: clone so each
+                    # generation keeps an independent snapshot
+                    clone = CSRGraph(
+                        prev.row_offsets.copy(),
+                        prev.col_indices.copy(),
+                        prev.weights.copy(),
+                        name=prev.name,
+                    )
+                    fresh[(gid, gen)] = _apply(clone, streams[gid][gen - 1]).graph
             mismatches = []
-            for (gid, source), dist in sorted(served.items()):
+            for (gid, gen, source), dist in sorted(served.items()):
                 direct = info.solve(
                     SolveRequest(
-                        graph=fresh[gid], source=source, spec=spec, cost=cost,
-                        scheduler=scheduler,
+                        graph=fresh[(gid, gen)], source=source,
+                        spec=spec, cost=cost, scheduler=scheduler,
                     )
                 )
                 if not np.array_equal(direct.dist, dist):
@@ -229,6 +359,7 @@ def run_serve_bench(
                     mismatches.append(
                         {
                             "graph": gid,
+                            "generation": gen,
                             "source": source,
                             "first_vertex": bad,
                             "served": float(dist[bad]),
@@ -255,6 +386,8 @@ def run_serve_bench(
             "burst": burst,
             "seed": seed,
             "jobs": jobs,
+            "updates": updates,
+            "update_size": update_size,
         },
         "graphs": graphs_meta,
         "results": {
@@ -269,5 +402,6 @@ def run_serve_bench(
             "cache": cache_stats,
             "counters": counters,
         },
+        "updates": updates_block,
         "verify": verify_block,
     }

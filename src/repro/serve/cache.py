@@ -81,30 +81,75 @@ class DistanceCache:
         """Landmark reuse: distances ``source -> targets`` sliced out of
         the cached full solve of ``source``, or ``None`` on miss.  The
         slice is a fresh (writable) array; the cached full array stays
-        read-only and resident."""
+        read-only and resident.
+
+        Target ids are bounds-checked against the cached array *before*
+        indexing: an out-of-range id raises :class:`~repro.errors.
+        ServeError` naming the offending id, instead of letting numpy's
+        negative-index wraparound silently answer for vertex ``n + t``.
+        """
         dist = self.get(graph_id, source)
         if dist is None:
             return None
-        return dist[np.asarray(list(targets), dtype=np.int64)]
+        idx = np.asarray(list(targets), dtype=np.int64)
+        bad = (idx < 0) | (idx >= dist.size)
+        if bad.any():
+            from repro.errors import ServeError
+
+            offender = int(idx[bad][0])
+            raise ServeError(
+                f"target vertex {offender} out of range for graph "
+                f"{graph_id!r} with {dist.size} vertices"
+            )
+        return dist[idx]
 
     # -- updates ------------------------------------------------------------ #
 
-    def put(self, graph_id: str, source: int, dist: np.ndarray) -> np.ndarray:
+    def put(
+        self, graph_id: str, source: int, dist: np.ndarray, *, own: bool = False
+    ) -> np.ndarray:
         """Insert (or refresh) one full solve; returns the read-only
         array the cache retains.  Inserting past capacity evicts the
-        least-recently-used entry."""
+        least-recently-used entry.
+
+        ``own=True`` declares the array is the cache's now (e.g. a
+        solver result nobody else holds): it is frozen in place without
+        copying.  By default the cache assumes the caller keeps using
+        their array and stores a frozen *copy* — freezing a view, as an
+        earlier version did, left the caller's base array writable and
+        the "read-only" cache entry silently mutable through it.
+        """
         key = (graph_id, int(source))
         stored = np.asarray(dist)
         if stored.flags.writeable:
-            # freeze without copying: the solver result is ours now
-            stored = stored.view()
-            stored.flags.writeable = False
+            if own and stored.base is None:
+                # freeze in place: the array owns its buffer, and any
+                # reference the producer kept goes read-only with it
+                stored.flags.writeable = False
+            else:
+                # a copy is the only way to sever the caller's handle —
+                # freezing a view would leave the base array writable
+                stored = stored.copy()
+                stored.flags.writeable = False
         self._entries[key] = stored
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
         return stored
+
+    def sources(self, graph_id: str) -> list:
+        """The sources currently cached for ``graph_id`` (insertion
+        order), for selective invalidation sweeps."""
+        return [src for (gid, src) in self._entries if gid == graph_id]
+
+    def drop(self, graph_id: str, source: int) -> bool:
+        """Drop one entry (selective invalidation); returns whether it
+        existed.  Counts toward ``invalidated``, not ``evictions``."""
+        existed = self._entries.pop((graph_id, int(source)), None) is not None
+        if existed:
+            self.invalidated += 1
+        return existed
 
     def invalidate(self, graph_id: str) -> int:
         """Drop every entry of ``graph_id``; returns how many were

@@ -34,6 +34,17 @@ complete asynchronously; ``autostart=False`` is the synchronous mode
 used by tests and the bench replay — the caller invokes
 :meth:`Session.serve_pending` to drain deterministically.
 
+Graphs are not necessarily static: :meth:`Session.apply_updates` feeds
+an edge-update batch (:mod:`repro.dynamic`) to a loaded graph.  Weight
+changes patch in place with *selective* cache invalidation (a cached
+source survives when :func:`~repro.dynamic.frontier.changes_affect`
+proves nothing moved); topology changes swap in a rebuilt graph and
+drop the whole graph's cache.  Invalidated entries are stashed as warm
+starts — old distances plus net deltas — so the next solve of that
+source is incremental when the solver ``accepts_updates``.  Every
+update bumps the graph's generation, and answers whose solve straddled
+a generation change are failed at demux instead of served or cached.
+
 Counters (``SERVE_COUNTER_KEYS``) live in a
 :class:`~repro.trace.MetricsRegistry`: every submission increments
 ``serve_admitted`` or ``serve_rejected``; every answered query
@@ -48,7 +59,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -133,6 +144,11 @@ class Session:
         ``False`` the caller drains via :meth:`serve_pending`.
     store_path:
         Optional JSONL query log (see :class:`QueryExecutor`).
+    incremental:
+        Allow warm (incremental) re-solves after :meth:`apply_updates`
+        when the solver ``accepts_updates`` (default).  ``False`` forces
+        every invalidated source back through a from-scratch solve —
+        the baseline ``serve-bench --updates`` compares against.
     """
 
     def __init__(
@@ -152,6 +168,7 @@ class Session:
         metrics: Optional[MetricsRegistry] = None,
         autostart: bool = True,
         store_path=None,
+        incremental: bool = True,
     ) -> None:
         info = get_solver_info(solver)  # fail at construction, not first query
         if scheduler is not None:
@@ -167,6 +184,10 @@ class Session:
             raise ServeError(f"max_pending must be >= 1 (got {max_pending})")
         self.solver = solver
         self.scheduler = scheduler
+        #: Warm re-solves need both a capable solver and the session-level
+        #: opt-in (``incremental=False`` forces from-scratch re-solves —
+        #: the comparison baseline ``serve-bench --updates`` measures).
+        self._accepts_updates = bool(info.accepts_updates) and incremental
         self.max_pending = max_pending
         self.default_timeout_s = default_timeout_s
         self.spec = spec
@@ -182,6 +203,20 @@ class Session:
         #: the registry's min/max/mean histogram cannot keep.
         self.batch_sizes: List[int] = []
         self._graphs: Dict[str, CSRGraph] = {}
+        #: Per-graph update generation, bumped by any mutation of the
+        #: registry (add/remove/apply_updates).  A solve dispatched under
+        #: one generation whose graph changed before it finished is
+        #: discarded at demux — an in-place weight patch can tear a
+        #: concurrent solve, so its answer cannot be trusted or cached.
+        self._generation: Dict[str, int] = {}
+        #: Warm-start stash: invalidated cache entries kept as
+        #: ``(old dist, net EdgeDeltas since)`` so the next solve of that
+        #: (graph, source) can re-seed incrementally instead of from
+        #: scratch.  Bounded like the cache; only used when the session
+        #: solver ``accepts_updates``.
+        self._warm: "OrderedDict[Tuple[str, int], Tuple[np.ndarray, object]]" = (
+            OrderedDict()
+        )
         self._pending: Deque[Query] = deque()
         self._lock = threading.Condition()
         self._closed = False
@@ -204,12 +239,79 @@ class Session:
             if graph_id in self._graphs:
                 self.cache.invalidate(graph_id)
             self._graphs[graph_id] = graph.prepare()
+            self._bump_generation(graph_id)
         return graph
 
     def remove_graph(self, graph_id: str) -> None:
         with self._lock:
             self._graphs.pop(graph_id, None)
             self.cache.invalidate(graph_id)
+            self._bump_generation(graph_id)
+
+    def apply_updates(self, graph_id: str, batch) -> "object":
+        """Apply an :class:`~repro.dynamic.updates.UpdateBatch` to a
+        loaded graph; returns the :class:`~repro.dynamic.updates.
+        UpdateResult`.
+
+        Weight-only batches patch the prepared graph in place and
+        invalidate **selectively**: each cached source is kept when
+        :func:`~repro.dynamic.frontier.changes_affect` proves the batch
+        cannot move any of its distances.  Topology-changing batches
+        swap in the rebuilt (re-prepared) graph and drop the whole
+        graph's cache.  Either way, every invalidated entry is stashed
+        with the net deltas since it was computed, so a later query for
+        that source re-solves incrementally from the warm distances
+        (when the session solver ``accepts_updates``).  Any update bumps
+        the graph's generation: solves already in flight on the old
+        state are discarded at demux rather than served or cached.
+        """
+        from repro.dynamic.frontier import changes_affect
+        from repro.dynamic.updates import apply_updates as _apply
+
+        with self._lock:
+            if self._closed:
+                raise ServeError("session is closed")
+            graph = self.graph(graph_id)
+            result = _apply(graph, batch)  # raises DynamicError untouched
+            self._bump_generation(graph_id, drop_warm=False)
+            # stashed entries predate this batch: extend their deltas
+            if result.deltas.size:
+                for key in list(self._warm):
+                    if key[0] == graph_id:
+                        d0, acc = self._warm[key]
+                        self._warm[key] = (d0, acc.merge(result.deltas))
+            if result.topology_changed:
+                self._graphs[graph_id] = result.graph.prepare()
+                for src in self.cache.sources(graph_id):
+                    self._stash_warm(graph_id, src, result.deltas)
+                self.cache.invalidate(graph_id)
+            elif result.deltas.size:
+                for src in self.cache.sources(graph_id):
+                    dist = self.cache.peek(graph_id, src)
+                    if changes_affect(dist, result.deltas):
+                        self._stash_warm(graph_id, src, result.deltas)
+                        self.cache.drop(graph_id, src)
+            return result
+
+    def _bump_generation(self, graph_id: str, *, drop_warm: bool = True) -> None:
+        self._generation[graph_id] = self._generation.get(graph_id, 0) + 1
+        if drop_warm:
+            # replacement/removal severs the delta chain: stashed warm
+            # starts no longer describe any loaded graph
+            for key in [k for k in self._warm if k[0] == graph_id]:
+                del self._warm[key]
+
+    def _stash_warm(self, graph_id: str, source: int, deltas) -> None:
+        key = (graph_id, int(source))
+        dist = self.cache.peek(graph_id, source)
+        if dist is None:
+            return
+        # a prior stash for this key is superseded: the cached distances
+        # are newer, and need only this batch's deltas
+        self._warm.pop(key, None)
+        self._warm[key] = (dist, deltas)
+        while len(self._warm) > self.cache.max_entries:
+            self._warm.popitem(last=False)
 
     def invalidate(self, graph_id: str) -> int:
         """Drop all cached distances of ``graph_id`` (e.g. after its
@@ -355,7 +457,12 @@ class Session:
             self.serve_pending()
 
     def _execute_plan(self, plan: BatchPlan) -> int:
-        graph = self._graphs.get(plan.graph_id)
+        # snapshot graph + generation together: answers computed on this
+        # snapshot are only served (and cached) if the graph is still on
+        # the same generation when the solve returns
+        with self._lock:
+            graph = self._graphs.get(plan.graph_id)
+            generation = self._generation.get(plan.graph_id, 0)
         if graph is None:  # unloaded between admission and dispatch
             for q in plan.queries:
                 q.future.set_exception(
@@ -367,11 +474,12 @@ class Session:
         self.metrics.observe("serve_batch_size", plan.size)
 
         # one full solve per unique uncached source; cached sources are
-        # the landmark-reuse path
+        # the landmark-reuse path, stashed warm starts the incremental one
         dists: Dict[int, np.ndarray] = {}
         cached: Dict[int, bool] = {}
         errors: Dict[int, str] = {}
         to_solve: List[int] = []
+        warm: Dict[int, Tuple[np.ndarray, object]] = {}
         with self._lock:
             for src in plan.sources:
                 hit = self.cache.get(plan.graph_id, src)
@@ -380,6 +488,10 @@ class Session:
                     cached[src] = True
                 else:
                     to_solve.append(src)
+                    if self._accepts_updates:
+                        entry = self._warm.pop((plan.graph_id, src), None)
+                        if entry is not None:
+                            warm[src] = entry
         futures = [
             (
                 src,
@@ -393,20 +505,36 @@ class Session:
                         spec=self.spec,
                         cost=self.cost,
                         scheduler=self.scheduler,
+                        warm_from=warm[src][0] if src in warm else None,
+                        updates=warm[src][1] if src in warm else None,
                         options=dict(self.solver_options),
                     )
                 ),
             )
             for src in to_solve
         ]
+        for src in warm:
+            self.metrics.inc("serve_incremental")
         for src, fut in futures:
             kind, detail, _elapsed, _span = fut.result()
-            if kind == "ok":
-                with self._lock:
-                    dists[src] = self.cache.put(plan.graph_id, src, detail.dist)
-                cached[src] = False
-            else:
+            if kind != "ok":
                 errors[src] = f"{kind}: {detail}"
+                continue
+            with self._lock:
+                if self._generation.get(plan.graph_id, 0) != generation:
+                    # the graph was updated while this solve ran; an
+                    # in-place patch may have torn it mid-relaxation, so
+                    # the answer is untrustworthy — fail, don't cache
+                    self.metrics.inc("serve_stale")
+                    errors[src] = (
+                        "stale: the graph was updated while the solve "
+                        "was in flight; resubmit against the new state"
+                    )
+                    continue
+                dists[src] = self.cache.put(
+                    plan.graph_id, src, detail.dist, own=True
+                )
+            cached[src] = False
 
         # demux: every query resolves from its source's single solve
         settled = 0

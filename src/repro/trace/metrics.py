@@ -43,12 +43,18 @@ UNIFORM_SOLVER_KEYS = ("atomics", "fences", "kernel_launches", "work_count")
 #: admission gate; admitted queries then split into ``serve_cache_hits``
 #: (answered from the distance cache), ``serve_batched`` (dispatched in
 #: a coalesced batch) and ``serve_timeouts`` (expired before an answer).
+#: Dynamic-graph sessions additionally count ``serve_incremental``
+#: (solves seeded from a stashed warm start instead of scratch) and
+#: ``serve_stale`` (answers discarded because the graph was updated
+#: while their solve was in flight).
 SERVE_COUNTER_KEYS = (
     "serve_admitted",
     "serve_rejected",
     "serve_batched",
     "serve_cache_hits",
     "serve_timeouts",
+    "serve_incremental",
+    "serve_stale",
 )
 
 

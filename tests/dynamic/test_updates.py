@@ -1,0 +1,206 @@
+"""The update model: EdgeUpdate/UpdateBatch validation, batch
+application (in-place weight patch vs CSR rebuild), and EdgeDeltas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    EdgeDeltas,
+    EdgeUpdate,
+    UpdateBatch,
+    apply_updates,
+)
+from repro.errors import DynamicError
+from repro.graphs.csr import from_edge_list
+
+
+def _line_graph():
+    """0 -> 1 -> 2 -> 3, weights 1, 2, 3."""
+    return from_edge_list(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+
+
+class TestEdgeUpdateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(DynamicError):
+            EdgeUpdate(kind="tweak", src=0, dst=1, weight=1.0)
+
+    def test_weight_required_for_weight_kinds(self):
+        for kind in ("increase", "decrease", "insert"):
+            with pytest.raises(DynamicError):
+                EdgeUpdate(kind=kind, src=0, dst=1)
+
+    def test_delete_takes_no_weight(self):
+        with pytest.raises(DynamicError):
+            EdgeUpdate(kind="delete", src=0, dst=1, weight=1.0)
+
+    def test_weight_must_be_finite_non_negative(self):
+        for w in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(DynamicError):
+                EdgeUpdate(kind="insert", src=0, dst=1, weight=w)
+
+    def test_out_of_range_vertex_rejected_at_apply(self):
+        g = _line_graph()
+        for src, dst in ((-1, 1), (0, 99)):
+            with pytest.raises(DynamicError):
+                apply_updates(
+                    g,
+                    UpdateBatch(
+                        [EdgeUpdate(kind="increase", src=src, dst=dst, weight=9.0)]
+                    ),
+                )
+
+
+class TestWeightOnlyBatch:
+    def test_in_place_patch_and_prepared_twin(self):
+        g = _line_graph().prepare()
+        res = apply_updates(
+            g, UpdateBatch([EdgeUpdate(kind="increase", src=1, dst=2, weight=5.0)])
+        )
+        assert res.graph is g  # patched in place, no rebuild
+        assert not res.topology_changed
+        # both the public weights and the prepared float64 twin see it
+        assert float(g.weights[1]) == 5.0
+        assert float(g.prepared().w64[1]) == 5.0
+
+    def test_wrong_direction_rejected(self):
+        g = _line_graph()
+        with pytest.raises(DynamicError):
+            apply_updates(
+                g,
+                UpdateBatch([EdgeUpdate(kind="increase", src=1, dst=2, weight=1.0)]),
+            )
+
+    def test_unknown_edge_rejected(self):
+        g = _line_graph()
+        with pytest.raises(DynamicError):
+            apply_updates(
+                g,
+                UpdateBatch([EdgeUpdate(kind="decrease", src=0, dst=3, weight=0.5)]),
+            )
+
+    def test_invalid_batch_leaves_graph_untouched(self):
+        g = _line_graph()
+        before = g.weights.copy()
+        batch = UpdateBatch(
+            [
+                EdgeUpdate(kind="increase", src=0, dst=1, weight=9.0),  # valid
+                EdgeUpdate(kind="increase", src=1, dst=2, weight=1.0),  # invalid
+            ]
+        )
+        with pytest.raises(DynamicError):
+            apply_updates(g, batch)
+        assert np.array_equal(g.weights, before)  # nothing half-patched
+
+    def test_sequential_within_batch(self):
+        # the second update sees the first one's new weight
+        g = _line_graph()
+        batch = UpdateBatch(
+            [
+                EdgeUpdate(kind="increase", src=0, dst=1, weight=10.0),
+                EdgeUpdate(kind="decrease", src=0, dst=1, weight=4.0),
+            ]
+        )
+        res = apply_updates(g, batch)
+        assert float(g.weights[0]) == 4.0
+        # net deltas record the original old weight and the final new one
+        assert res.deltas.size == 1
+        assert float(res.deltas.old_w[0]) == 1.0
+        assert float(res.deltas.new_w[0]) == 4.0
+
+    def test_stats_cache_dropped_on_weight_change(self):
+        g = _line_graph()
+        before = g.max_weight()
+        apply_updates(
+            g, UpdateBatch([EdgeUpdate(kind="increase", src=2, dst=3, weight=50.0)])
+        )
+        assert g.max_weight() == 50.0 != before
+
+
+class TestTopologyBatch:
+    def test_insert(self):
+        g = _line_graph()
+        res = apply_updates(
+            g, UpdateBatch([EdgeUpdate(kind="insert", src=0, dst=3, weight=7.0)])
+        )
+        assert res.topology_changed
+        assert res.graph is not g
+        assert res.graph.num_edges == 4
+        assert np.isnan(res.deltas.old_w[0])  # inserted: no old weight
+        assert float(res.deltas.new_w[0]) == 7.0
+
+    def test_duplicate_insert_rejected(self):
+        g = _line_graph()
+        with pytest.raises(DynamicError):
+            apply_updates(
+                g,
+                UpdateBatch([EdgeUpdate(kind="insert", src=0, dst=1, weight=1.0)]),
+            )
+
+    def test_delete(self):
+        g = _line_graph()
+        res = apply_updates(
+            g, UpdateBatch([EdgeUpdate(kind="delete", src=1, dst=2)])
+        )
+        assert res.topology_changed
+        assert res.graph.num_edges == 2
+        assert np.isnan(res.deltas.new_w[0])  # deleted: no new weight
+
+    def test_delete_unknown_edge_rejected(self):
+        g = _line_graph()
+        with pytest.raises(DynamicError):
+            apply_updates(g, UpdateBatch([EdgeUpdate(kind="delete", src=3, dst=0)]))
+
+    def test_insert_then_delete_is_net_noop(self):
+        g = _line_graph()
+        res = apply_updates(
+            g,
+            UpdateBatch(
+                [
+                    EdgeUpdate(kind="insert", src=0, dst=3, weight=7.0),
+                    EdgeUpdate(kind="delete", src=0, dst=3),
+                ]
+            ),
+        )
+        assert res.topology_changed  # a rebuild happened...
+        assert res.graph.num_edges == 3
+        assert res.deltas.size == 0  # ...but the net deltas are empty
+
+    def test_delete_then_reinsert_same_weight_is_net_noop(self):
+        g = _line_graph()
+        res = apply_updates(
+            g,
+            UpdateBatch(
+                [
+                    EdgeUpdate(kind="delete", src=1, dst=2),
+                    EdgeUpdate(kind="insert", src=1, dst=2, weight=2.0),
+                ]
+            ),
+        )
+        assert res.deltas.size == 0
+
+
+class TestEdgeDeltas:
+    def test_merge_keeps_earliest_old_latest_new(self):
+        d1 = EdgeDeltas.from_map({(0, 1): (1.0, 5.0)})
+        d2 = EdgeDeltas.from_map({(0, 1): (5.0, 2.0), (1, 2): (2.0, 9.0)})
+        merged = d1.merge(d2)
+        assert merged.size == 2
+        i = int(np.flatnonzero((merged.src == 0) & (merged.dst == 1))[0])
+        assert float(merged.old_w[i]) == 1.0
+        assert float(merged.new_w[i]) == 2.0
+
+    def test_empty_batch_is_noop(self):
+        g = _line_graph()
+        res = apply_updates(g, UpdateBatch([]))
+        assert res.graph is g
+        assert res.deltas.size == 0
+        assert res.n_updates == 0
+
+    def test_csr_method_delegates(self):
+        g = _line_graph()
+        res = g.apply_updates(
+            UpdateBatch([EdgeUpdate(kind="increase", src=0, dst=1, weight=3.0)])
+        )
+        assert float(res.graph.weights[0]) == 3.0

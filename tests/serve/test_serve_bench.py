@@ -97,3 +97,58 @@ class TestOptions:
             run_serve_bench(queries=0)
         with pytest.raises(ServeError):
             run_serve_bench(queries=10, burst=0)
+        with pytest.raises(ServeError):
+            run_serve_bench(queries=10, updates=-1)
+        with pytest.raises(ServeError):
+            run_serve_bench(queries=10, updates=1, update_size=0)
+
+
+class TestUpdatesMode:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_serve_bench(
+            queries=120, scale=0.15, max_graphs=2, burst=16, seed=5,
+            updates=2, update_size=5,
+        )
+
+    def test_static_payload_has_null_updates_block(self):
+        payload = run_serve_bench(
+            queries=40, scale=0.15, max_graphs=1, burst=8, verify=False
+        )
+        assert payload["updates"] is None
+        assert payload["config"]["updates"] == 0
+
+    def test_updates_block_reports_both_passes(self, payload):
+        upd = payload["updates"]
+        assert upd["batches"] == 4  # 2 per graph × 2 graphs
+        assert upd["update_size"] == 5
+        assert upd["incremental_wall_s"] > 0 and upd["full_wall_s"] > 0
+        assert upd["speedup"] > 0
+        assert upd["incremental_solves"] > 0  # warm path actually exercised
+
+    def test_passes_agree_bit_exactly(self, payload):
+        assert payload["updates"]["pass_mismatches"] == 0
+
+    def test_per_generation_verification_passes(self, payload):
+        assert payload["verify"]["enabled"]
+        assert payload["verify"]["checked"] > 0
+        assert payload["verify"]["mismatches"] == []
+        # at least one served answer postdates an update
+        assert payload["results"]["counters"]["serve_incremental"] > 0
+
+    def test_updates_payload_is_json_serializable(self, payload):
+        json.dumps(payload)
+
+    def test_passes_do_not_share_graph_objects(self):
+        # SuiteEntry.graph() memoizes its build; if both replay passes
+        # were handed that shared object, pass 1's in-place weight
+        # patches would leak into pass 2, whose re-application of the
+        # same stream then rejects an already-applied decrease.  This
+        # seed's streams open with weight-only batches, which is exactly
+        # the triggering shape.
+        payload = run_serve_bench(
+            queries=40, scale=0.2, max_graphs=3, burst=16, seed=7,
+            updates=2, update_size=6,
+        )
+        assert payload["updates"]["pass_mismatches"] == 0
+        assert payload["verify"]["mismatches"] == []
