@@ -68,6 +68,10 @@ class Comparison:
     mismatches: List[str] = field(default_factory=list)
     #: Baseline cells absent from the current run; fatal.
     missing: List[Tuple[str, str]] = field(default_factory=list)
+    #: Matched cells that could not be compared because a required field
+    #: is absent on one side (e.g. an old baseline schema); fatal — a
+    #: gate that silently skips a cell is not a gate.
+    field_gaps: List[str] = field(default_factory=list)
     #: Current cells absent from the baseline; informational only.
     added: List[Tuple[str, str]] = field(default_factory=list)
     total_baseline_s: float = 0.0
@@ -89,6 +93,7 @@ class Comparison:
             self.regressions
             or self.mismatches
             or self.missing
+            or self.field_gaps
             or self.total_regressed
         )
 
@@ -112,6 +117,8 @@ class Comparison:
             lines.append(f"MISMATCH: {m}")
         for g, s in self.missing:
             lines.append(f"MISSING: baseline cell {g}/{s} not in current run")
+        for m in self.field_gaps:
+            lines.append(f"MISSING: {m}")
         for g, s in self.added:
             lines.append(f"added: {g}/{s} (not in baseline)")
         lines.append("OK" if self.ok else "FAIL")
@@ -122,7 +129,19 @@ def _cells_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], dict]:
     cells = payload.get("cells")
     if not isinstance(cells, list):
         raise ReproError("bench payload has no 'cells' list")
-    return {(c["graph"], c["solver"]): c for c in cells}
+    out: Dict[Tuple[str, str], dict] = {}
+    for i, c in enumerate(cells):
+        if not isinstance(c, dict) or "graph" not in c or "solver" not in c:
+            raise ReproError(
+                f"bench payload cell #{i} has no graph/solver key "
+                "(corrupt or hand-edited report?)"
+            )
+        out[(c["graph"], c["solver"])] = c
+    return out
+
+
+#: Sentinel distinguishing "field absent" from any real JSON value.
+_ABSENT = object()
 
 
 def compare_reports(
@@ -148,6 +167,16 @@ def compare_reports(
         cur = cur_cells.get(key)
         if cur is None:
             cmp.missing.append(key)
+            continue
+        cell_ok = True
+        for fld in ("work_count", "time_us", "dist_sha256", "wall_s"):
+            for side, payload_cells in (("baseline", base), ("current", cur)):
+                if payload_cells.get(fld, _ABSENT) is _ABSENT:
+                    cmp.field_gaps.append(
+                        f"{key[0]}/{key[1]}: field '{fld}' missing in {side}"
+                    )
+                    cell_ok = False
+        if not cell_ok:
             continue
         for fld in ("work_count", "time_us", "dist_sha256"):
             if base[fld] != cur[fld]:

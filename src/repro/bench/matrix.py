@@ -8,7 +8,7 @@ point is longitudinal comparison — a ``BENCH_*.json`` produced last month
 must describe the same work as one produced today, or a "regression" is
 just a corpus change.
 
-Two matrices are defined:
+Three matrices are defined:
 
 ``small``
     3 graphs × 2 solvers, a few seconds end to end.  CI smoke and the
@@ -19,6 +19,14 @@ Two matrices are defined:
     diameter road grids, power-law rmat, FEM mesh, uniform random) at
     sizes where the simulator's per-pass scheduler overhead dominates —
     the grid hot-path PRs are measured against.
+
+``large``
+    A single million-vertex road grid × ADDS only — the paper's
+    road-USA regime scaled to what a host run can hold.  Meant for the
+    batch execution mode (``--exec-mode batch``), whose fused
+    dispatches are what make a graph this size tractable; the tiny
+    frontier-to-thread ratio makes it the sharpest latency-bound probe
+    in the harness.
 
 Graphs deliberately reuse the corpus generators (same code paths the
 suite exercises) but with their own seeds, so a corpus re-tune does not
@@ -77,6 +85,14 @@ MATRICES: Dict[str, Tuple[Tuple[str, ...], List[Tuple[str, str, GraphSpec]]]] = 
             # uniform random: balanced load
             ("bench-gnm-12000", "random",
              _spec("random_gnm", n=12000, m=48000, max_weight=100, seed=116)),
+        ],
+    ),
+    "large": (
+        ("adds",),
+        [
+            ("bench-road-1000x1000", "road",
+             _spec("grid_road", width=1000, height=1000, max_weight=8192,
+                   seed=121)),
         ],
     ),
 }

@@ -158,6 +158,7 @@ def cmd_solve(ns) -> int:
         cost=cost,
         delta=ns.delta,
         scheduler=ns.scheduler,
+        exec_mode=ns.exec_mode,
     )
     result = info.solve(request)
     if ns.json:
@@ -281,6 +282,7 @@ def cmd_bench(ns) -> int:
         spec=spec,
         cost=cost,
         scheduler=ns.scheduler,
+        exec_mode=ns.exec_mode,
         progress=progress,
         profile_dir=ns.profile,
     )
@@ -301,6 +303,7 @@ def cmd_bench(ns) -> int:
                 "regressions": [d.describe() for d in comparison.regressions],
                 "mismatches": list(comparison.mismatches),
                 "missing": [f"{g}/{s}" for g, s in comparison.missing],
+                "field_gaps": list(comparison.field_gaps),
                 "ok": comparison.ok,
             }
         print(json.dumps(payload, indent=2))
@@ -457,6 +460,7 @@ def cmd_check(ns) -> int:
         replay=not ns.no_replay,
         checker_factory=checker_factory,
         scheduler=ns.scheduler,
+        exec_mode=ns.exec_mode,
         progress=progress,
     )
     if ns.json:
@@ -539,6 +543,16 @@ def _add_scheduler_flag(p):
                         f"{DEFAULT_SCHEDULER!r}; see docs/scheduling.md)")
 
 
+def _add_exec_mode_flag(p):
+    p.add_argument("--exec-mode", dest="exec_mode",
+                   choices=["events", "batch"], default=None,
+                   help="simulator execution mode for exec-mode-accepting "
+                        "solvers: 'events' steps one block at a time, "
+                        "'batch' fuses same-timestamp relaxation dispatches "
+                        "(bit-identical outputs, much faster; default "
+                        "'events'; see docs/simulator.md)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -585,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--json-dist", action="store_true",
                    help="include the full distance array in --json output")
     _add_scheduler_flag(s)
+    _add_exec_mode_flag(s)
     _add_device_flags(s)
     s.set_defaults(fn=cmd_solve)
 
@@ -636,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json", action="store_true",
                    help="emit the report (plus compare verdict) as JSON")
     _add_scheduler_flag(b)
+    _add_exec_mode_flag(b)
     _add_device_flags(b)
     b.set_defaults(fn=cmd_bench)
 
@@ -722,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--json", action="store_true",
                     help="emit the report as JSON")
     _add_scheduler_flag(ck)
+    _add_exec_mode_flag(ck)
     _add_device_flags(ck)
     ck.set_defaults(fn=cmd_check)
 

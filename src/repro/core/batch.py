@@ -1,0 +1,192 @@
+"""Batch execution mode: fused same-timestamp WTB relaxation dispatches.
+
+The event engine steps one block at a time, so at host level every WTB
+dispatch pays its own numpy fixed costs on arrays of a few dozen
+elements.  But whenever several workers' dispatch resumes share one
+timestamp — the common case, because the MTB assigns a burst of chunks
+in one pass and every woken worker reschedules exactly
+``af_poll_cycles`` later — their relaxation phases are, on the simulated
+hardware, *concurrent*.  This module exploits that: it executes the
+maximal run of same-timestamp dispatches as fused numpy operations over
+the concatenated frontiers, while the event heap keeps sole authority
+over every cross-block protocol point (reserve/publish/rotate, capacity
+waits, fences, completion counters).
+
+Correctness argument, pinned bit-identically by the PR 5 schedule
+fuzzer, the PR 7 scheduler-conformance suite and the bench ``--compare``
+gate:
+
+- **Which steps may fuse.**  A worker arms itself just before parking on
+  its AF wait.  An armed worker with ``AF_ASSIGNED`` whose event sits in
+  the heap is exactly "about to execute its dispatch": the coordinator
+  takes the maximal *prefix* of the current timestamp's pop order
+  consisting of such workers (``Device.ready_peers`` reproduces pop
+  order bit-exactly).  Stopping at the first non-dispatch event is what
+  makes early execution safe: every fused dispatch would in any case run
+  before that event pops.
+- **Why early application is invisible.**  Between consecutive pops of
+  the prefix only wake-predicate evaluation runs, and no wait predicate
+  reads the distance array; dispatches mutate only ``dist``/``pred`` and
+  host-side counters.  So executing the whole prefix during the first
+  dispatch's step produces states indistinguishable, event by event,
+  from sequential stepping.
+- **Why fusing the atomics is exact.**  Within the prefix the
+  coordinator greedily groups dispatches whose *read* set (the assigned
+  vertices) avoids the group's pending *write* set (the destination
+  indices) and whose write sets are pairwise disjoint — tracked with a
+  token-stamped scratch array, flushing a group whenever the next
+  dispatch conflicts.  Disjoint writes mean one
+  ``atomic_min_batch`` over the concatenation dedups exactly as the
+  per-worker calls would, so the sliced winner masks, the distance
+  array, and every counter the call bumps are bit-identical.
+
+The engine sees the very same yields, heap pushes, RNG draws and wake
+orders in both modes — canonical and perturbed — which is why
+``work_count``, ``time_us`` and the distance hash cannot move.
+
+When a protocol checker is attached, the coordinator still harvests and
+executes the prefix early but commits each worker solo, in pop order and
+attributed to its own block (``Device.attribute_to``), so the checker
+observes the exact event-mode operation sequence.  The fused path is
+then covered by ``repro check``'s unchecked replay, which pins its
+outputs against the checked run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wtb import AF_ASSIGNED
+
+__all__ = ["BatchCoordinator"]
+
+
+class BatchCoordinator:
+    """Shared dispatcher for the batch execution mode of one solve.
+
+    Workers call :meth:`arm` before parking on their AF and
+    :meth:`take` when their dispatch resume is stepped; the first
+    ``take`` of a same-timestamp run harvests the whole fusable prefix
+    via :meth:`~repro.gpu.device.Device.ready_peers`, executes it, and
+    parks the peers' results for their own ``take`` calls.
+    """
+
+    def __init__(self, state, kernel) -> None:
+        self.state = state
+        self.kernel = kernel
+        self.device = state.device
+        self.armed = bytearray(state.af_state.size)
+        self._wids: dict = {}   # id(ctx) -> wid
+        self._ctxs: dict = {}   # wid -> ctx, for checker attribution
+        self._ready: dict = {}  # wid -> finished dispatch result
+        # Token-stamped conflict scratch: stamp[v] == current token marks
+        # v as written by the pending fused group.
+        self._stamp = np.zeros(state.graph.num_vertices, dtype=np.int64)
+        self._token = 0
+        # With a checker attached every commit stays solo + attributed so
+        # the checker sees the event-mode operation sequence.
+        self._solo = getattr(state, "checker", None) is not None
+        #: fused-commit telemetry (reported in the solver stats)
+        self.fused_groups = 0
+        self.fused_blocks = 0
+
+    def register(self, ctx, wid: int) -> None:
+        """Map an engine block context to its worker id."""
+        self._wids[id(ctx)] = wid
+        self._ctxs[wid] = ctx
+
+    def arm(self, wid: int) -> None:
+        """Worker ``wid`` is parking on its AF: its next heap entry is a
+        dispatch resume."""
+        self.armed[wid] = 1
+
+    def take(self, wid: int):
+        """Result of worker ``wid``'s dispatch, executing the fusable
+        same-timestamp prefix on first demand.
+
+        Returns ``None`` when there is nothing to fuse with — the caller
+        then dispatches solo through the kernel, which is the identical
+        computation.
+        """
+        armed = self.armed
+        armed[wid] = 0
+        res = self._ready.pop(wid, None)
+        if res is not None:
+            return res
+        af_state = self.state.af_state
+        wids = self._wids
+        prefix = [wid]
+        for ctx in self.device.ready_peers():
+            w = wids.get(id(ctx))
+            if w is None or not armed[w] or af_state[w] != AF_ASSIGNED:
+                break
+            prefix.append(w)
+        if len(prefix) == 1:
+            return None
+        self._execute(prefix)
+        return self._ready.pop(wid)
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, prefix) -> None:
+        """Run every dispatch in ``prefix`` (in pop order), fusing
+        conflict-free commit groups."""
+        kernel = self.kernel
+        ready = self._ready
+        if self._solo:
+            dispatch = kernel.dispatch
+            device = self.device
+            ctxs = self._ctxs
+            for w in prefix:
+                prev = device.attribute_to(ctxs[w])
+                try:
+                    ready[w] = dispatch(w)
+                finally:
+                    device.attribute_to(prev)
+            return
+
+        begin = kernel.begin
+        expand = kernel.expand
+        commit = kernel.commit
+        commit_group = kernel.commit_group
+        stamp = self._stamp
+        token = self._token + 1
+        pending: list = []  # (wid, expanded entry) awaiting one fused commit
+
+        def flush() -> None:
+            if len(pending) == 1:
+                w, e = pending[0]
+                ready[w] = commit(e)
+            else:
+                self.fused_groups += 1
+                self.fused_blocks += len(pending)
+                for (w, _), res in zip(
+                    pending, commit_group([e for _, e in pending])
+                ):
+                    ready[w] = res
+            pending.clear()
+
+        for w in prefix:
+            b = begin(w)
+            # (a) read-vs-pending-write conflict: the stale check and the
+            # candidate gather read dist[assigned vertices], so they must
+            # not run ahead of a pending write to any of them.
+            if pending and (stamp[b[5]] == token).any():
+                flush()
+                token += 1
+            e = expand(b)
+            if not e[4]:  # no live edges: nothing to write, commit is free
+                ready[w] = commit(e)
+                continue
+            # (d) write-vs-pending-write conflict: overlapping destination
+            # sets must not share one fused atomic-min (dedup would cross
+            # worker boundaries).  The expand above is still valid after
+            # the flush: check (a) proved pending writes miss its reads.
+            if pending and (stamp[e[8]] == token).any():
+                flush()
+                token += 1
+            pending.append((w, e))
+            stamp[e[8]] = token
+        if pending:
+            flush()
+        self._token = token

@@ -39,6 +39,7 @@ case the dirty-frontier rule turns into a zero-work re-solve.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -183,10 +184,21 @@ class EdgeDeltas:
             merged[key] = (float(self.old_w[i]), float(self.new_w[i]))
         for i in range(later.size):
             key = (int(later.src[i]), int(later.dst[i]))
+            new = float(later.new_w[i])
             if key in merged:
-                merged[key] = (merged[key][0], float(later.new_w[i]))
+                old = merged[key][0]
+                if math.isnan(old) and math.isnan(new):
+                    # Insert-then-delete across batches annihilates: the
+                    # edge was absent before ``self`` and is absent after
+                    # ``later``, so the composed delta must vanish —
+                    # resolving to the stale inserted weight (or keeping
+                    # a nan→nan pair for ``from_map`` to interpret) would
+                    # poison warm re-seeding.
+                    del merged[key]
+                else:
+                    merged[key] = (old, new)
             else:
-                merged[key] = (float(later.old_w[i]), float(later.new_w[i]))
+                merged[key] = (float(later.old_w[i]), new)
         return EdgeDeltas.from_map(merged)
 
 

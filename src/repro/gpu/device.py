@@ -290,6 +290,38 @@ class Device:
         """True if some block is currently waiting on ``channel``."""
         return bool(self._channels.get(channel))
 
+    # -- batch execution support ------------------------------------------------ #
+
+    def ready_peers(self) -> List["BlockContext"]:
+        """The blocks with an event pending at the *current* timestamp, in
+        the exact order the drain loop will pop them.
+
+        This is the readiness harvest of the batch execution mode: a
+        program stepped at time ``t`` may ask which peers are about to
+        run at the same ``t`` and — when their pending steps commute with
+        everything between the pops — execute their array work fused with
+        its own.  Priorities are unique, so sorting the heap's same-time
+        entries reproduces pop order bit-exactly, perturbed or not.
+        """
+        heap = self._heap
+        t = self.now
+        if not heap or heap[0][0] != t:
+            return []
+        return [entry[2] for entry in sorted(e for e in heap if e[0] == t)]
+
+    def attribute_to(self, ctx: Optional["BlockContext"]) -> Optional["BlockContext"]:
+        """Attribute subsequent memory/queue operations to ``ctx``.
+
+        Returns the previous attribution, which the caller must restore.
+        Used by the batch coordinator when it executes a peer block's
+        relaxation phase during another block's step, so protocol
+        checkers and traces see the operations under the block that
+        semantically performs them.
+        """
+        prev = self._current_ctx
+        self._current_ctx = ctx
+        return prev
+
     # -- engine ----------------------------------------------------------------- #
 
     def run(self) -> float:
@@ -410,21 +442,34 @@ class Device:
         predicate without a notify — woken anyway (counted in
         :attr:`missed_wakeups`) so a migration bug degrades instead of
         hanging.  Nothing satisfied is a genuine deadlock."""
+        # One block may be parked under several registrations (a keyed
+        # entry plus a fallback entry left behind by an earlier rescue):
+        # dedupe by waiter identity so each block wakes — and is counted
+        # in ``wakeups``/``missed_wakeups`` — at most once per rescan.
+        items: List[Tuple[int, BlockContext, Callable[[], bool]]] = []
+        for waiters in self._channels.values():
+            items.extend(waiters)
+        items.extend(self._fallback)
         stuck: List[Tuple[int, BlockContext, Callable[[], bool]]] = []
         rescued = 0
-        for waiters in self._channels.values():
-            for item in waiters:
-                if item[2]():
-                    self._wake(item[1])
-                    rescued += 1
-                else:
-                    stuck.append(item)
-        for item in self._fallback:
+        woken: set = set()
+        stuck_ids: set = set()
+        for item in items:
+            ident = id(item[1])
+            if ident in woken:
+                continue
             if item[2]():
+                woken.add(ident)
                 self._wake(item[1])
                 rescued += 1
-            else:
+                if ident in stuck_ids:
+                    # An earlier duplicate looked unsatisfied; the block
+                    # is awake now, so drop its stale registration too.
+                    stuck = [it for it in stuck if id(it[1]) != ident]
+                    stuck_ids.discard(ident)
+            elif ident not in stuck_ids:
                 stuck.append(item)
+                stuck_ids.add(ident)
         if not rescued:
             stuck.sort()
             waiters = ", ".join(item[1].name for item in stuck)

@@ -126,6 +126,16 @@ class SimMemory:
         stores ``payload[i]`` into ``payload_out[indices[i]]`` — the
         64-bit packed (distance, predecessor) update GPU SSSP kernels use
         to keep the shortest-path tree consistent with the distances.
+
+        **Fused-call contract** (the batch execution mode relies on it):
+        for index sets that are disjoint *across* sub-batches, one call
+        over the concatenation is bit-equivalent to the sequential
+        per-sub-batch calls — each concatenated slice of the winner mask
+        equals the solo mask, ``arr``/``payload_out`` land identically,
+        and ``stats.atomics`` grows by the same total.  Within a
+        sub-batch duplicates dedup to the first best entry on both the
+        scalar (``n <= 32``) and vectorized paths, so the equivalence
+        holds regardless of which path each call shape takes.
         """
         n = int(indices.size)
         self.stats.atomics += n
@@ -143,12 +153,13 @@ class SimMemory:
             state: dict = {}  # idx -> [pre-batch value, best value, position]
             idx_l = indices.tolist()
             val_l = values.tolist()
+            arr_item = arr.item
             for i in range(n):
                 j = idx_l[i]
                 v = val_l[i]
                 rec = state.get(j)
                 if rec is None:
-                    state[j] = [arr.item(j), v, i]
+                    state[j] = [arr_item(j), v, i]
                 elif v < rec[1]:
                     rec[1] = v
                     rec[2] = i

@@ -94,3 +94,49 @@ class TestGate:
     def test_malformed_payload_rejected(self):
         with pytest.raises(ReproError, match="cells"):
             compare_reports({"bench_schema": 1}, payload(BASE))
+
+
+class TestFieldGaps:
+    """Cells lacking a required field are diagnosed per-cell and fail the
+    gate cleanly instead of raising a bare KeyError (e.g. an old-schema
+    baseline compared against a grown matrix)."""
+
+    def test_missing_baseline_field_is_diagnosed_not_keyerror(self):
+        base = payload(BASE)
+        for cell in base["cells"]:
+            del cell["dist_sha256"]
+        cmp = compare_reports(base, payload(BASE), threshold_pct=10)
+        assert not cmp.ok
+        assert len(cmp.field_gaps) == 2
+        assert all(
+            "missing in baseline" in m and "dist_sha256" in m
+            for m in cmp.field_gaps
+        )
+        lines = cmp.summary_lines()
+        assert any("missing in baseline" in l for l in lines)
+        assert lines[-1] == "FAIL"
+
+    def test_missing_current_field_is_diagnosed(self):
+        cur = payload(BASE)
+        del cur["cells"][0]["work_count"]
+        cmp = compare_reports(payload(BASE), cur, threshold_pct=10)
+        assert not cmp.ok
+        assert cmp.field_gaps == ["g1/adds: field 'work_count' missing in current"]
+        # the intact cell still compares normally
+        assert [d.graph for d in cmp.deltas] == ["g2"]
+
+    def test_gapped_cell_skips_value_comparison(self):
+        base = payload(BASE)
+        del base["cells"][0]["time_us"]
+        cur = payload({("g1", "adds"): 99.0, ("g2", "adds"): 2.0})
+        cmp = compare_reports(base, cur, threshold_pct=10)
+        assert cmp.field_gaps and not cmp.ok
+        # g1 is incomparable: neither a delta nor a regression is recorded
+        assert [d.graph for d in cmp.deltas] == ["g2"]
+        assert not cmp.regressions
+
+    def test_malformed_cell_raises_reproerror(self):
+        bad = payload(BASE)
+        del bad["cells"][0]["graph"]
+        with pytest.raises(ReproError):
+            compare_reports(bad, payload(BASE))

@@ -1,0 +1,109 @@
+"""Batch execution mode: bit-identity against event stepping, plus the
+edge cases the coordinator must not trip over (warm starts with nothing
+to do, single-vertex graphs) across both registered schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_adds
+from repro.dynamic import EdgeDeltas
+from repro.errors import SolverError
+from repro.graphs import from_edge_list, grid_road
+from repro.graphs.generators import fem_mesh, rmat
+
+SCHEDULERS = ("bucket", "mlmq")
+MODES = ("events", "batch")
+
+
+def _identical(g, **kw):
+    """Solve in both modes; assert every simulated output is bit-equal
+    and return the batch result for extra assertions."""
+    ev = solve_adds(g, 0, exec_mode="events", **kw)
+    ba = solve_adds(g, 0, exec_mode="batch", **kw)
+    np.testing.assert_array_equal(ev.dist, ba.dist)
+    assert ev.work_count == ba.work_count
+    assert ev.time_us == ba.time_us
+    skip = {"exec_mode", "fused_groups", "fused_blocks"}
+    diffs = {
+        k: (ev.stats.get(k), ba.stats.get(k))
+        for k in ev.stats
+        if k not in skip and ev.stats.get(k) != ba.stats.get(k)
+    }
+    assert not diffs, f"stats diverged between exec modes: {diffs}"
+    return ba
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_grid_canonical(self, scheduler):
+        g = grid_road(24, 24, seed=5)
+        ba = _identical(g, scheduler=scheduler)
+        assert ba.stats["exec_mode"] == "batch"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_grid_perturbed(self, scheduler, seed):
+        g = grid_road(24, 24, seed=5)
+        _identical(g, scheduler=scheduler, perturb_seed=seed)
+
+    def test_rmat(self):
+        _identical(rmat(9, seed=7))
+
+    def test_mesh_fuses(self):
+        ba = _identical(fem_mesh(1200, seed=3))
+        # the point of the mode: multi-worker commits actually fuse
+        assert ba.stats["fused_groups"] > 0
+        assert ba.stats["fused_blocks"] >= 2 * ba.stats["fused_groups"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SolverError):
+            solve_adds(grid_road(4, 4), 0, exec_mode="turbo")
+
+
+class TestWarmStartEdgeCases:
+    """A warm start whose dirty frontier is empty must re-solve to the
+    same fixpoint without the coordinator ever seeing a dispatch."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_empty_dirty_frontier(self, scheduler, mode):
+        g = grid_road(10, 10, seed=9)
+        warm = solve_adds(g, 0, scheduler=scheduler).dist
+        res = solve_adds(
+            g, 0, scheduler=scheduler, exec_mode=mode,
+            warm_from=warm, updates=EdgeDeltas.empty(),
+        )
+        np.testing.assert_array_equal(res.dist, warm)
+        assert res.stats["exec_mode"] == mode
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_empty_frontier_modes_identical(self, scheduler):
+        g = grid_road(10, 10, seed=9)
+        warm = solve_adds(g, 0, scheduler=scheduler).dist
+        _identical(
+            g, scheduler=scheduler,
+            warm_from=warm, updates=EdgeDeltas.empty(),
+        )
+
+
+class TestSingleVertex:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_single_vertex(self, scheduler, mode):
+        g = from_edge_list(1, [])
+        r = solve_adds(g, 0, scheduler=scheduler, exec_mode=mode)
+        assert r.dist[0] == 0.0
+        assert r.work_count == 1
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_single_vertex_self_loop(self, scheduler, mode):
+        g = from_edge_list(1, [(0, 0, 3)])
+        r = solve_adds(g, 0, scheduler=scheduler, exec_mode=mode)
+        assert r.dist[0] == 0.0
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_single_vertex_modes_identical(self, scheduler):
+        _identical(from_edge_list(1, []), scheduler=scheduler)

@@ -204,3 +204,89 @@ class TestEdgeDeltas:
             UpdateBatch([EdgeUpdate(kind="increase", src=0, dst=1, weight=3.0)])
         )
         assert float(res.graph.weights[0]) == 3.0
+
+
+class TestMergeUpdateStreamChains:
+    """Property: folding per-batch deltas with ``merge`` (in either
+    association) equals the direct diff of the endpoint graphs.  In
+    particular an edge inserted in one batch and deleted in a later one
+    resolves to absent — it never shows up carrying the stale inserted
+    weight."""
+
+    @staticmethod
+    def _edge_map(g):
+        ro, ci, w = g.row_offsets, g.col_indices, g.weights
+        out = {}
+        for u in range(ro.size - 1):
+            for j in range(int(ro[u]), int(ro[u + 1])):
+                out[(u, int(ci[j]))] = float(w[j])
+        return out
+
+    @staticmethod
+    def _fold_left(deltas):
+        acc = deltas[0]
+        for d in deltas[1:]:
+            acc = acc.merge(d)
+        return acc
+
+    @staticmethod
+    def _fold_right(deltas):
+        acc = deltas[-1]
+        for d in reversed(deltas[:-1]):
+            acc = d.merge(acc)
+        return acc
+
+    def test_insert_then_delete_annihilates(self):
+        nan = float("nan")
+        a = EdgeDeltas.from_map({(0, 1): (nan, 5.0)})
+        b = EdgeDeltas.from_map({(0, 1): (5.0, nan)})
+        assert a.merge(b).size == 0
+        c = EdgeDeltas.from_map({(2, 3): (1.0, 4.0)})
+        for m in (a.merge(b).merge(c), a.merge(b.merge(c))):
+            keys = {(int(m.src[i]), int(m.dst[i])) for i in range(m.size)}
+            assert keys == {(2, 3)}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain_matches_endpoint_diff(self, seed):
+        import math
+
+        from repro.graphs.generators import grid_road, update_stream
+
+        g0 = grid_road(4, 4, seed=seed)
+        before = self._edge_map(g0)  # capture first: weight-only batches
+        # patch the graph in place
+        g = g0
+        deltas = []
+        for batch in update_stream(
+            g0, batches=5, batch_size=10, seed=seed,
+            p_insert=0.45, p_delete=0.45,
+        ):
+            res = apply_updates(g, batch)
+            g = res.graph
+            deltas.append(res.deltas)
+        after = self._edge_map(g)
+
+        nan = float("nan")
+        expect = {}
+        for k in set(before) | set(after):
+            o = before.get(k, nan)
+            n = after.get(k, nan)
+            if (math.isnan(o) and math.isnan(n)) or o == n:
+                continue
+            expect[k] = (o, n)
+
+        for merged in (self._fold_left(deltas), self._fold_right(deltas)):
+            got = {
+                (int(merged.src[i]), int(merged.dst[i])): (
+                    float(merged.old_w[i]),
+                    float(merged.new_w[i]),
+                )
+                for i in range(merged.size)
+            }
+            # same key set: no dropped changes, and no phantom entries
+            # (an insert-then-delete edge must not reappear)
+            assert set(got) == set(expect)
+            for k, (o, n) in expect.items():
+                go, gn = got[k]
+                assert (math.isnan(o) and math.isnan(go)) or o == go
+                assert (math.isnan(n) and math.isnan(gn)) or n == gn

@@ -297,3 +297,54 @@ class TestSharedState:
         assert rep["name"] == "p"
         assert rep["finished"]
         assert rep["busy_cycles"] == pytest.approx(10)
+
+
+class TestRescueWaiterDedupe:
+    """A waiter reachable through several registrations (a keyed channel
+    entry plus a fallback entry) must be rescued exactly once: one wake,
+    one ``wakeups``/``missed_wakeups`` increment, one heap entry."""
+
+    def _park(self, d, name):
+        def prog():
+            yield ("wait", lambda: True, "chan")
+
+        ctx = d.add_block(name, prog())
+        next(ctx.program)  # advance to the wait, as _step would
+        ctx._wait_started = 0.0
+        return ctx
+
+    def test_dual_registration_rescued_once(self):
+        d = make_device()
+        ctx = self._park(d, "W")
+        pred = lambda: True  # noqa: E731
+        d._channels.setdefault("chan", []).append((0, ctx, pred))
+        d._fallback.append((1, ctx, pred))
+        d._rescue_or_deadlock()
+        assert d.wakeups == 1
+        assert d.missed_wakeups == 1
+        assert sum(1 for e in d._heap if e[2] is ctx) == 1
+        assert not d._channels and not d._fallback
+
+    def test_stale_keyed_entry_dropped_when_woken_via_fallback(self):
+        # The keyed predicate looks unsatisfied but the fallback one is
+        # satisfied: the block wakes once and its stale keyed
+        # registration must not survive into the next rescan round.
+        d = make_device()
+        ctx = self._park(d, "W")
+        d._channels.setdefault("chan", []).append((0, ctx, lambda: False))
+        d._fallback.append((1, ctx, lambda: True))
+        d._rescue_or_deadlock()
+        assert d.wakeups == 1
+        assert d.missed_wakeups == 1
+        assert sum(1 for e in d._heap if e[2] is ctx) == 1
+        assert not d._fallback
+
+    def test_distinct_waiters_still_rescued_independently(self):
+        d = make_device()
+        a = self._park(d, "A")
+        b = self._park(d, "B")
+        d._channels.setdefault("c1", []).append((0, a, lambda: True))
+        d._channels.setdefault("c2", []).append((1, b, lambda: False))
+        d._rescue_or_deadlock()
+        assert d.wakeups == 1 and d.missed_wakeups == 1
+        assert [it[1] is b for it in d._fallback] == [True]

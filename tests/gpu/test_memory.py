@@ -108,6 +108,49 @@ class TestAtomicMinBatch:
         mem.atomic_min_batch(dist, idx, vals)
         assert np.allclose(dist, expect)
 
+    @pytest.mark.parametrize("sizes", [(3, 5), (20, 30), (30, 40, 50)])
+    def test_fused_call_contract(self, mem, sizes):
+        """One call over a disjoint-across-sub-batch concatenation must be
+        bit-equivalent to the sequential per-sub-batch calls — winner mask
+        slices, array contents, payload and atomics counter alike (the
+        batch execution mode's commit fusion rests on this)."""
+        rng = np.random.default_rng(7)
+        n_vert = sum(sizes) * 2
+        # disjoint index pools per sub-batch; duplicates *within* each one
+        pools = []
+        lo = 0
+        for s in sizes:
+            pools.append(rng.integers(lo, lo + s, size=s))
+            lo += 2 * s
+        values = [rng.uniform(0, 100, size=p.size) for p in pools]
+        payloads = [rng.integers(0, 1000, size=p.size) for p in pools]
+
+        solo_dist = rng.uniform(0, 100, size=n_vert)
+        fused_dist = solo_dist.copy()
+        solo_pred = np.full(n_vert, -1, dtype=np.int64)
+        fused_pred = solo_pred.copy()
+
+        solo = SimMemory()
+        masks = [
+            solo.atomic_min_batch(
+                solo_dist, p, v, payload=pl, payload_out=solo_pred
+            )
+            for p, v, pl in zip(pools, values, payloads)
+        ]
+        fused_mask = mem.atomic_min_batch(
+            fused_dist,
+            np.concatenate(pools),
+            np.concatenate(values),
+            payload=np.concatenate(payloads),
+            payload_out=fused_pred,
+        )
+        np.testing.assert_array_equal(
+            fused_mask, np.concatenate(masks)
+        )
+        np.testing.assert_array_equal(fused_dist, solo_dist)
+        np.testing.assert_array_equal(fused_pred, solo_pred)
+        assert mem.stats.atomics == solo.stats.atomics
+
 
 class TestGlobalPool:
     def test_acquire_release_cycle(self):
